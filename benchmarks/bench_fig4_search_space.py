@@ -1,0 +1,32 @@
+"""Figure 4(a)-(c): search space used vs. percentage of programs synthesized.
+
+Regenerates the paper's headline comparison: for each method, the fraction
+of the candidate budget needed to synthesize each percentile of the test
+programs.  The printed series corresponds to one panel of Figure 4 (one
+program length); run with ``NETSYN_BENCH_LENGTH=5/7/10`` and
+``NETSYN_SCALE`` to widen the experiment towards paper scale.
+"""
+
+from repro.evaluation.figures import fig4_search_space_series
+
+
+def test_fig4_search_space(benchmark, bench_report):
+    records = bench_report.records
+    methods = bench_report.methods
+    length = bench_report.lengths[0]
+
+    series = benchmark(lambda: fig4_search_space_series(records, methods, length))
+
+    print(f"\nFigure 4(a-c) data — program length {length}")
+    print("(x = % of test programs synthesized, y = % of the candidate budget used)")
+    for method, (x, y) in sorted(series.items()):
+        if len(x) == 0:
+            print(f"  {method:12s}: no programs synthesized within the budget")
+            continue
+        points = ", ".join(f"({px:.0f}%, {py * 100:.1f}%)" for px, py in zip(x, y))
+        print(f"  {method:12s}: {points}")
+
+    # Expected shape (paper): NetSyn variants synthesize more programs with a
+    # smaller search-space fraction than DeepCoder/PCCoder/RobustFill, PushGP
+    # and the edit-distance GA trail, and the oracle dominates everything.
+    assert set(series) == set(methods)

@@ -1,0 +1,27 @@
+"""Figure 4(g)-(i): synthesis time vs. percentage of programs synthesized.
+
+Wall-clock numbers are machine-dependent (the paper makes the same
+caveat); the *relative ordering* — enumerative baselines find their easy
+programs fastest, the oracle is nearly instant, NetSyn pays a per-
+generation neural-network cost — is the shape being reproduced.
+"""
+
+from repro.evaluation.figures import fig4_time_series
+
+
+def test_fig4_time(benchmark, bench_report):
+    records = bench_report.records
+    methods = bench_report.methods
+    length = bench_report.lengths[0]
+
+    series = benchmark(lambda: fig4_time_series(records, methods, length))
+
+    print(f"\nFigure 4(g-i) data — program length {length}")
+    print("(x = % of test programs synthesized, y = synthesis time in seconds)")
+    for method, (x, y) in sorted(series.items()):
+        if len(x) == 0:
+            print(f"  {method:12s}: no programs synthesized within the budget")
+            continue
+        points = ", ".join(f"({px:.0f}%, {py:.2f}s)" for px, py in zip(x, y))
+        print(f"  {method:12s}: {points}")
+    assert set(series) == set(methods)

@@ -1,0 +1,36 @@
+"""Figure 6: synthesis rate across the 41 DSL functions.
+
+The paper shows that tasks containing singleton-producing functions
+(ids 1-11) tend to have lower synthesis rates.  This benchmark prints the
+per-function synthesis rate for the NetSyn variants in the shared report
+and compares the singleton-producing group against the rest.
+"""
+
+import numpy as np
+
+from repro.dsl import REGISTRY
+from repro.evaluation.figures import fig6_function_breakdown
+
+
+def test_fig6_per_function_synthesis_rate(benchmark, bench_report):
+    records = bench_report.records
+    methods = [m for m in bench_report.methods if m.startswith("netsyn")] or bench_report.methods
+
+    rates = benchmark(lambda: fig6_function_breakdown(records, methods))
+
+    singleton_ids = set(REGISTRY.singleton_producing_ids())
+    print("\nFigure 6 data — synthesis rate of tasks containing each DSL function")
+    for method, values in sorted(rates.items()):
+        used = [(fid, values[fid - 1]) for fid in REGISTRY.ids if not np.isnan(values[fid - 1])]
+        print(f"  {method}:")
+        for fid, value in used:
+            marker = "(singleton-producing)" if fid in singleton_ids else ""
+            print(f"    f{fid:02d} {REGISTRY.by_id(fid).name:14s} {value * 100:5.1f}% {marker}")
+        singleton_rates = [v for fid, v in used if fid in singleton_ids]
+        list_rates = [v for fid, v in used if fid not in singleton_ids]
+        if singleton_rates and list_rates:
+            print(
+                f"    mean over singleton-producing functions: {np.mean(singleton_rates) * 100:.1f}% ; "
+                f"over the rest: {np.mean(list_rates) * 100:.1f}%"
+            )
+    assert all(values.shape == (41,) for values in rates.values())

@@ -1,0 +1,56 @@
+"""Figure 7: quality of the learned fitness models.
+
+(a)/(b): confusion matrices of the CF and LCS trace models on held-out
+validation data — the paper highlights that candidates whose true fitness
+is high are predicted high with probability ~0.7.
+(c): the FP model's positive-prediction accuracy over training epochs.
+"""
+
+import numpy as np
+
+from repro.core.phase1 import train_fp_model, train_trace_model
+from repro.data.corpus import CorpusBuilder
+from repro.evaluation.confusion import close_prediction_rate
+from repro.evaluation.figures import fig7_model_quality
+from repro.fitness.datasets import TraceFitnessDataset
+
+
+def test_fig7_model_quality(benchmark, bench_config):
+    training, nn, dsl = bench_config.training, bench_config.nn, bench_config.dsl
+
+    cf = train_trace_model(kind="cf", training=training, nn=nn, dsl=dsl)
+    lcs = train_trace_model(kind="lcs", training=training, nn=nn, dsl=dsl)
+    fp = train_fp_model(training=training, nn=nn, dsl=dsl)
+
+    # held-out labelled data from a different corpus seed
+    import dataclasses
+
+    held_out_cfg = dataclasses.replace(training, seed=training.seed + 900)
+    builder = CorpusBuilder(training=held_out_cfg, dsl=dsl)
+    validation = {
+        "cf": TraceFitnessDataset(builder.build_trace_samples(kind="cf", count=120), cf.encoder),
+        "lcs": TraceFitnessDataset(builder.build_trace_samples(kind="lcs", count=120), lcs.encoder),
+    }
+
+    output = benchmark.pedantic(
+        lambda: fig7_model_quality({"cf": cf.model, "lcs": lcs.model}, validation, fp_history=fp.history),
+        rounds=1,
+        iterations=1,
+    )
+
+    for kind in ("cf", "lcs"):
+        matrix = output[f"confusion_{kind}"]
+        print(f"\nFigure 7 — {kind.upper()} confusion matrix (rows = true value):")
+        for row_index, row in enumerate(matrix):
+            print(f"  true={row_index}: " + " ".join(f"{v:.2f}" for v in row))
+        high = matrix.shape[0] - 2
+        print(f"  P(predicted >= {high} | true >= {high}) = {close_prediction_rate(matrix, high):.2f}")
+        assert matrix.shape[0] == training.program_length + 1
+        assert np.all(matrix >= 0) and np.all(matrix <= 1.000001)
+
+    accuracy = output["fp_accuracy_over_epochs"]
+    print("\nFigure 7(c) — FP positive-prediction accuracy over epochs:")
+    print("  " + " ".join(f"{v:.2f}" for v in accuracy))
+    print("Expected shape (paper): accuracy rises over epochs towards a high "
+          "plateau (~0.9 at paper scale).")
+    assert len(accuracy) == training.epochs

@@ -1,0 +1,30 @@
+"""Table 2: contribution of neighborhood search and FP-guided mutation.
+
+Runs GA + learned CF fitness in the paper's five configurations over a
+shared suite and prints the reproduced table.  The benchmark times one
+full ablation sweep.
+"""
+
+from repro.evaluation.runner import ABLATION_VARIANTS, AblationRunner
+from repro.evaluation.tables import format_ablation_table
+
+
+def test_table2_ablation(benchmark, bench_config):
+    runner = AblationRunner(
+        base_config=bench_config,
+        length=4,
+        n_tasks=3,
+        n_runs=1,
+        max_search_space=4_000,
+        seed=11,
+    )
+
+    rows = benchmark.pedantic(lambda: runner.run(ABLATION_VARIANTS), rounds=1, iterations=1)
+
+    print("\nTable 2 (GA + fCF ablation):")
+    print(format_ablation_table(rows))
+    print("Expected shape (paper): NS and MutationFP each help; "
+          "GA+fCF+NS_BFS+MutationFP synthesizes the most programs in the "
+          "fewest generations.")
+    assert len(rows) == len(ABLATION_VARIANTS)
+    assert rows[0].approach == "GA+fCF"

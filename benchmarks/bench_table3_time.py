@@ -1,0 +1,17 @@
+"""Table 3: synthesis time required to synthesize each percentile of programs."""
+
+from repro.evaluation.tables import format_percentile_table
+
+
+def test_table3_synthesis_time(benchmark, bench_report):
+    records = bench_report.records
+    methods = bench_report.methods
+    lengths = bench_report.lengths
+
+    table = benchmark(
+        lambda: format_percentile_table(records, methods, lengths, metric="time")
+    )
+    print("\nTable 3 (synthesis time to reach each percentile of programs):")
+    print(table)
+    # every method appears and unreached percentiles are rendered as dashes
+    assert all(method in table for method in methods)

@@ -1,0 +1,16 @@
+"""Table 4: search space used to synthesize each percentile of programs."""
+
+from repro.evaluation.tables import format_percentile_table
+
+
+def test_table4_search_space(benchmark, bench_report):
+    records = bench_report.records
+    methods = bench_report.methods
+    lengths = bench_report.lengths
+
+    table = benchmark(
+        lambda: format_percentile_table(records, methods, lengths, metric="search_space")
+    )
+    print("\nTable 4 (fraction of the candidate budget used per percentile):")
+    print(table)
+    assert all(method in table for method in methods)

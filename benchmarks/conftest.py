@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Because
+the underlying synthesis comparison is shared between Figure 4, Figure 5,
+Figure 6, Table 3 and Table 4, the expensive part — running every method
+over the benchmark suite — is executed once per pytest session and reused.
+
+Scale knobs (all default to a laptop-friendly quick run):
+
+``NETSYN_SCALE``        multiplies task counts, run counts and budgets.
+``NETSYN_BENCH_LENGTH`` program length of the benchmark suite (default 4;
+                        the paper uses 5, 7 and 10).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import ExperimentConfig, NetSynConfig
+from repro.evaluation.runner import EvaluationRunner
+
+
+BENCH_METHODS = (
+    "netsyn_cf",
+    "netsyn_fp",
+    "deepcoder",
+    "pccoder",
+    "robustfill",
+    "pushgp",
+    "edit",
+    "oracle",
+)
+
+
+def bench_length() -> int:
+    return int(os.environ.get("NETSYN_BENCH_LENGTH", "4"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> NetSynConfig:
+    """Base NetSyn configuration used by every benchmark."""
+    config = NetSynConfig.small(fitness_kind="cf", seed=11)
+    config.training.corpus_size = 1600
+    config.training.epochs = 12
+    config.ga.max_generations = 2000
+    return config
+
+
+@pytest.fixture(scope="session")
+def bench_experiment() -> ExperimentConfig:
+    return ExperimentConfig(
+        lengths=(bench_length(),),
+        n_test_programs=6,
+        n_runs=1,
+        max_search_space=12_000,
+        methods=BENCH_METHODS,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_runner(bench_experiment, bench_config) -> EvaluationRunner:
+    return EvaluationRunner(bench_experiment, bench_config)
+
+
+@pytest.fixture(scope="session")
+def bench_report(bench_runner):
+    """The shared method-comparison report (runs every method once)."""
+    return bench_runner.run()

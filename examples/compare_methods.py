@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compare NetSyn against the paper's baselines under a candidate budget.
+
+Reproduces, at small scale, the headline comparison of Section 5.1: each
+method synthesizes the same suite of hidden programs under the same
+maximum search-space budget, and we report the search-space percentile
+table (the paper's Table 4 layout) plus a per-method summary.
+
+Environment variables:
+    NETSYN_SCALE   multiply task counts / runs / budget (default 1.0)
+"""
+
+import time
+
+from repro.config import ExperimentConfig, NetSynConfig
+from repro.evaluation import EvaluationRunner
+from repro.evaluation.tables import format_percentile_table, format_summary_table
+
+
+def main() -> None:
+    base = NetSynConfig.small(fitness_kind="cf", seed=3)
+    base.training.corpus_size = 1200
+    base.training.epochs = 8
+    base.ga.max_generations = 1500
+
+    experiment = ExperimentConfig(
+        lengths=(4,),
+        n_test_programs=6,
+        n_runs=2,
+        max_search_space=12_000,
+        methods=("netsyn_fp", "deepcoder", "pccoder", "robustfill", "pushgp", "edit", "oracle"),
+        seed=3,
+    )
+
+    print("Training shared models and running the comparison "
+          f"({experiment.n_test_programs} tasks x {experiment.n_runs} runs x "
+          f"{len(experiment.methods)} methods) ...")
+    start = time.time()
+    runner = EvaluationRunner(experiment, base)
+    report = runner.run()
+    print(f"done in {time.time() - start:.1f}s — {len(report.records)} runs\n")
+
+    print("Search space used to synthesize each percentile of programs (Table 4 layout):")
+    print(format_percentile_table(report.records, report.methods, report.lengths, metric="search_space"))
+    print("\nSynthesis time percentiles (Table 3 layout):")
+    print(format_percentile_table(report.records, report.methods, report.lengths, metric="time"))
+    print("\nPer-method summary:")
+    print(format_summary_table(report.summaries()))
+
+
+if __name__ == "__main__":
+    main()

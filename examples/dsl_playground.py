@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Explore the DSL substrate: programs, traces, dead code and equivalence.
+
+A guided tour of :mod:`repro.dsl`, useful when extending the DSL or
+debugging a synthesizer: it executes the paper's worked example, shows the
+execution trace the NN fitness function consumes, demonstrates dead-code
+elimination, and checks program equivalence under IO examples.
+"""
+
+import numpy as np
+
+from repro.dsl import (
+    Interpreter,
+    Program,
+    ProgramGenerator,
+    InputGenerator,
+    REGISTRY,
+    eliminate_dead_code,
+    has_dead_code,
+    make_io_set,
+    programs_equivalent,
+)
+
+
+def main() -> None:
+    interpreter = Interpreter()
+
+    print(f"The DSL has {len(REGISTRY)} functions, for example:")
+    for fid in (1, 6, 14, 19, 30, 37):
+        fn = REGISTRY.by_id(fid)
+        arg_types = ", ".join(t.value for t in fn.arg_types)
+        print(f"  {fn.fid:>2d}  {fn.name:14s} ({arg_types}) -> {fn.return_type.value}")
+
+    # The paper's Table 1 example.
+    program = Program.from_names(["FILTER(>0)", "MAP(*2)", "SORT", "REVERSE"])
+    inputs = [[-2, 10, 3, -4, 5, 2]]
+    trace = interpreter.run(program, inputs)
+    print("\nTable-1 example program:")
+    print("  " + " ; ".join(program.names))
+    print(f"  input:  {inputs[0]}")
+    print(f"  output: {trace.output}")
+    print("  execution trace (one intermediate value per statement):")
+    for step in trace.steps:
+        print(f"    {step.name:12s} -> {step.output}")
+
+    # Dead code elimination.
+    with_dead_code = Program.from_names(["SUM", "MAXIMUM", "TAKE"])
+    print("\nDead-code elimination:")
+    print("  original :", " ; ".join(with_dead_code.names), f"(dead code: {has_dead_code(with_dead_code)})")
+    cleaned = eliminate_dead_code(with_dead_code)
+    print("  cleaned  :", " ; ".join(cleaned.names))
+
+    # Equivalence under IO examples (Definition 3.1).
+    a = Program.from_names(["SORT", "REVERSE"])
+    b = Program.from_names(["REVERSE", "SORT", "REVERSE"])
+    probe_inputs = [[[3, 1, 2]], [[9, -4, 5, 5]], [[0]]]
+    print("\nProgram equivalence under IO examples:")
+    print("  A:", " ; ".join(a.names))
+    print("  B:", " ; ".join(b.names))
+    print("  A ≡_S B:", programs_equivalent(a, b, probe_inputs, interpreter))
+
+    # Random program + specification generation, as used by Phase 1.
+    rng = np.random.default_rng(0)
+    generator = ProgramGenerator(rng=rng)
+    input_generator = InputGenerator(rng=rng)
+    random_program, random_inputs, _ = generator.interesting_program(5, input_generator)
+    io_set = make_io_set(random_program, random_inputs, interpreter)
+    print("\nA randomly generated length-5 program (no dead code by construction):")
+    print("  " + " ; ".join(random_program.names))
+    print("  one of its IO examples:", io_set[0].inputs[0], "->", io_set[0].output)
+
+
+if __name__ == "__main__":
+    main()

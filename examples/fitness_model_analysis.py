@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Inspect the learned fitness models (the paper's Figure 7 analysis).
+
+Trains the CF trace model and the FP model, then prints:
+
+* the CF confusion matrix on held-out validation data (Figure 7a),
+* how often near-correct candidates are recognised as near-correct,
+* the FP model's positive-prediction accuracy over training epochs
+  (Figure 7c),
+* the learned probability map for one concrete task, compared against the
+  target program's true function membership.
+"""
+
+import numpy as np
+
+from repro.config import DSLConfig, NNConfig, TrainingConfig
+from repro.core.phase1 import train_fp_model, train_trace_model
+from repro.data import make_synthesis_task
+from repro.data.corpus import CorpusBuilder
+from repro.evaluation.confusion import close_prediction_rate, confusion_from_model
+from repro.fitness.datasets import TraceFitnessDataset
+from repro.fitness.functions import ProbabilityMapFitness
+from repro.fitness.ideal import function_membership
+from repro.dsl import REGISTRY
+
+
+def main() -> None:
+    training = TrainingConfig(corpus_size=1500, program_length=4, n_io_examples=3, epochs=10, seed=0)
+    dsl = DSLConfig(n_io_examples=3, min_input_length=4, max_input_length=7)
+    nn = NNConfig(embedding_dim=8, hidden_dim=16, fc_dim=16, encoder="pooled")
+
+    print("Training the CF trace model and the FP model ...")
+    trace = train_trace_model(kind="cf", training=training, nn=nn, dsl=dsl)
+    fp = train_fp_model(training=training, nn=nn, dsl=dsl)
+
+    # Figure 7(a): confusion matrix of the CF model on fresh labelled data.
+    builder = CorpusBuilder(training=TrainingConfig(**{**vars(training), "seed": 123}), dsl=dsl)
+    validation = TraceFitnessDataset(builder.build_trace_samples(kind="cf", count=200), trace.encoder)
+    confusion = confusion_from_model(trace.model, validation)
+    print("\nCF confusion matrix (rows = true CF value, columns = predicted):")
+    for row_index, row in enumerate(confusion):
+        print(f"  true={row_index}: " + " ".join(f"{v:.2f}" for v in row))
+    high = trace.model.n_classes - 2
+    print(f"P(predict >= {high} | true >= {high}) = {close_prediction_rate(confusion, high):.2f}")
+
+    # Figure 7(c): FP accuracy over epochs.
+    series = fp.history.metric_series("positive_accuracy", split="val")
+    print("\nFP positive-prediction accuracy over epochs:")
+    print("  " + " ".join(f"{v:.2f}" for v in series))
+
+    # Probability map vs ground truth for one task.
+    task = make_synthesis_task(length=4, seed=21, dsl_config=dsl)
+    fitness = ProbabilityMapFitness(fp.model, encoder=fp.encoder)
+    probability_map = fitness.probability_map(task.io_set)
+    membership = function_membership(task.target)
+    print("\nTarget program:", " ; ".join(task.target.names))
+    print("Learned probability map (top 8 functions):")
+    for index in np.argsort(probability_map)[::-1][:8]:
+        marker = "*" if membership[index] else " "
+        print(f"  {marker} {REGISTRY.by_id(index + 1).name:14s} p={probability_map[index]:.2f}")
+    in_program = probability_map[membership > 0.5].mean()
+    out_of_program = probability_map[membership < 0.5].mean()
+    print(f"mean probability of in-program functions:  {in_program:.2f}")
+    print(f"mean probability of out-of-program functions: {out_of_program:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e . --no-use-pep517 --no-build-isolation``
+works in fully offline environments that lack the ``wheel`` package
+(PEP 660 editable installs require it).  Regular installs use
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""NetSyn reproduction: learned fitness functions for GA-based program synthesis.
+
+This package reproduces *"Learning Fitness Functions for Machine
+Programming"* (MLSys 2021).  The public API is organised as:
+
+* :mod:`repro.dsl` — the 41-function list DSL, interpreter, traces, DCE.
+* :mod:`repro.nn` — a from-scratch numpy neural-network substrate
+  (embedding, LSTM, dense layers, Adam) used by the learned fitness models.
+* :mod:`repro.fitness` — ideal fitness metrics (CF/LCS/FP/edit/oracle) and
+  the neural-network fitness functions trained to predict them.
+* :mod:`repro.ga` — the genetic algorithm: selection, crossover, mutation,
+  elitism, and restricted local neighborhood search.
+* :mod:`repro.core` — the NetSyn synthesizer facade (Phase 1 training +
+  Phase 2 search) and search-budget accounting.
+* :mod:`repro.baselines` — DeepCoder-, PCCoder-, RobustFill-, PushGP-like
+  baselines plus edit-distance and oracle GAs, under one interface.
+* :mod:`repro.data` — corpus and benchmark-suite generation.
+* :mod:`repro.evaluation` — metrics, tables and figure series for every
+  experiment in the paper's evaluation section.
+
+Quickstart::
+
+    from repro import NetSyn, NetSynConfig
+    from repro.data import make_synthesis_task
+
+    task = make_synthesis_task(length=4, seed=7)
+    netsyn = NetSyn(NetSynConfig.small())
+    netsyn.fit()                            # Phase 1: train the NN fitness function
+    result = netsyn.synthesize(task.io_set) # Phase 2: GA search
+    print(result.found, result.program)
+
+The top-level names below are resolved lazily so that ``import repro``
+stays cheap and subpackages can be imported independently.
+"""
+
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "DSLConfig",
+    "GAConfig",
+    "NeighborhoodConfig",
+    "NNConfig",
+    "TrainingConfig",
+    "NetSynConfig",
+    "ExperimentConfig",
+    "NetSyn",
+    "SynthesisResult",
+    "SearchBudget",
+]
+
+_CONFIG_NAMES = {
+    "DSLConfig",
+    "GAConfig",
+    "NeighborhoodConfig",
+    "NNConfig",
+    "TrainingConfig",
+    "NetSynConfig",
+    "ExperimentConfig",
+}
+_CORE_NAMES = {"NetSyn", "SynthesisResult", "SearchBudget"}
+
+
+def __getattr__(name: str):
+    if name in _CONFIG_NAMES:
+        import repro.config as _config
+
+        return getattr(_config, name)
+    if name in _CORE_NAMES:
+        import repro.core as _core
+
+        return getattr(_core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

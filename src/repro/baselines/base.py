@@ -1,0 +1,87 @@
+"""The common synthesizer interface and the shared training context."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import NetSynConfig
+from repro.core.phase1 import Phase1Artifacts
+from repro.core.result import SynthesisResult
+from repro.data.tasks import SynthesisTask
+from repro.dsl.interpreter import Interpreter
+from repro.dsl.equivalence import satisfies_io_set
+from repro.ga.budget import SearchBudget
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class SynthesizerContext:
+    """Everything a synthesizer may need that is shared across methods.
+
+    The evaluation harness trains each model once and hands the same
+    context to every method so comparisons are not confounded by training
+    randomness.
+    """
+
+    config: NetSynConfig = field(default_factory=NetSynConfig)
+    #: Phase-1 artifacts keyed by model name ("cf", "lcs", "fp", "step", "decoder")
+    artifacts: Dict[str, object] = field(default_factory=dict)
+
+    def get(self, name: str):
+        """Fetch a trained artifact or raise a helpful error."""
+        if name not in self.artifacts:
+            raise KeyError(
+                f"context has no trained artifact {name!r}; available: {sorted(self.artifacts)}"
+            )
+        return self.artifacts[name]
+
+    def has(self, name: str) -> bool:
+        return name in self.artifacts
+
+
+class Synthesizer(abc.ABC):
+    """A program synthesizer evaluated under the candidate-budget metric."""
+
+    #: registry name of the method (e.g. ``"deepcoder"``)
+    name: str = "synthesizer"
+
+    @abc.abstractmethod
+    def synthesize(
+        self,
+        task: SynthesisTask,
+        budget: Optional[SearchBudget] = None,
+        seed: int = 0,
+    ) -> SynthesisResult:
+        """Attempt to synthesize ``task`` within ``budget`` candidates."""
+
+    # ------------------------------------------------------------------
+    def _check(self, program, task: SynthesisTask, budget: SearchBudget, interpreter: Interpreter) -> bool:
+        """Charge one candidate and test it against the task's IO examples."""
+        if budget.exhausted:
+            return False
+        budget.charge(1)
+        return satisfies_io_set(program, task.io_set, interpreter)
+
+    def _result(
+        self,
+        task: SynthesisTask,
+        budget: SearchBudget,
+        stopwatch: Stopwatch,
+        program=None,
+        found_by: str = "search",
+        generations: int = 0,
+    ) -> SynthesisResult:
+        """Assemble a :class:`SynthesisResult` with the shared bookkeeping."""
+        return SynthesisResult(
+            found=program is not None,
+            program=program,
+            candidates_used=budget.used,
+            budget_limit=budget.limit,
+            generations=generations,
+            wall_time_seconds=stopwatch.elapsed,
+            found_by=found_by if program is not None else "none",
+            method=self.name,
+            task_id=task.task_id,
+        )

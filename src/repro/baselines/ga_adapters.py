@@ -1,0 +1,78 @@
+"""Adapters exposing NetSyn's GA variants through the Synthesizer interface.
+
+These adapters let the evaluation harness treat the NetSyn variants
+(learned CF/LCS/FP fitness), the hand-crafted edit-distance GA and the
+oracle GA exactly like the external baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import Synthesizer
+from repro.config import NetSynConfig
+from repro.core.netsyn import NetSyn
+from repro.core.phase1 import Phase1Artifacts
+from repro.core.result import SynthesisResult
+from repro.data.tasks import SynthesisTask
+from repro.ga.budget import SearchBudget
+
+
+class NetSynSynthesizer(Synthesizer):
+    """Wraps a fitted :class:`~repro.core.netsyn.NetSyn` instance."""
+
+    def __init__(self, netsyn: NetSyn, name: Optional[str] = None) -> None:
+        self.netsyn = netsyn
+        self.name = name or f"netsyn_{netsyn.config.fitness_kind}"
+
+    def synthesize(
+        self,
+        task: SynthesisTask,
+        budget: Optional[SearchBudget] = None,
+        seed: int = 0,
+    ) -> SynthesisResult:
+        budget = budget or SearchBudget(limit=self.netsyn.config.max_search_space)
+        result = self.netsyn.synthesize(
+            task.io_set, target=task.target, budget=budget, seed=seed, task_id=task.task_id
+        )
+        result.method = self.name
+        return result
+
+
+class EditGASynthesizer(NetSynSynthesizer):
+    """NetSyn's GA with the hand-crafted output edit-distance fitness."""
+
+    def __init__(self, config: Optional[NetSynConfig] = None) -> None:
+        config = (config or NetSynConfig()).replace(
+            fitness_kind="edit", fp_guided_mutation=False
+        )
+        netsyn = NetSyn(config)
+        netsyn.set_models()  # no learned models required
+        super().__init__(netsyn, name="edit")
+
+
+class OracleGASynthesizer(NetSynSynthesizer):
+    """NetSyn's GA with the ideal (oracle) fitness — the paper's upper bound."""
+
+    def __init__(self, config: Optional[NetSynConfig] = None, kind: str = "lcs") -> None:
+        if kind not in ("cf", "lcs"):
+            raise ValueError("kind must be 'cf' or 'lcs'")
+        config = (config or NetSynConfig()).replace(
+            fitness_kind=f"oracle_{kind}", fp_guided_mutation=False
+        )
+        netsyn = NetSyn(config)
+        netsyn.set_models()
+        super().__init__(netsyn, name="oracle")
+
+
+def make_netsyn_synthesizer(
+    kind: str,
+    config: NetSynConfig,
+    trace_artifacts: Optional[Phase1Artifacts] = None,
+    fp_artifacts: Optional[Phase1Artifacts] = None,
+) -> NetSynSynthesizer:
+    """Build a NetSyn variant that reuses pre-trained Phase-1 artifacts."""
+    variant = config.replace(fitness_kind=kind)
+    netsyn = NetSyn(variant)
+    netsyn.set_models(trace_artifacts=trace_artifacts, fp_artifacts=fp_artifacts)
+    return NetSynSynthesizer(netsyn)

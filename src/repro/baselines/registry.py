@@ -1,0 +1,130 @@
+"""Method registry used by the evaluation harness.
+
+``build_context`` trains every Phase-1 model a set of methods needs —
+exactly once — and ``build_synthesizer`` instantiates a named method
+against that shared context, so all methods in one experiment see the
+same trained models and the same configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.baselines.base import Synthesizer, SynthesizerContext
+from repro.baselines.deepcoder import DeepCoderSynthesizer
+from repro.baselines.ga_adapters import (
+    EditGASynthesizer,
+    OracleGASynthesizer,
+    make_netsyn_synthesizer,
+)
+from repro.baselines.pccoder import PCCoderSynthesizer, train_step_model
+from repro.baselines.pushgp import PushGPSynthesizer
+from repro.baselines.robustfill import RobustFillSynthesizer, train_decoder_model
+from repro.config import NetSynConfig
+from repro.core.phase1 import train_fp_model, train_trace_model
+from repro.utils.logging import get_logger
+
+logger = get_logger("baselines.registry")
+
+#: every method name the evaluation harness understands
+METHOD_NAMES = (
+    "netsyn_cf",
+    "netsyn_lcs",
+    "netsyn_fp",
+    "edit",
+    "oracle",
+    "pushgp",
+    "deepcoder",
+    "pccoder",
+    "robustfill",
+)
+
+#: Phase-1 artifacts required by each method
+_REQUIREMENTS: Dict[str, Sequence[str]] = {
+    "netsyn_cf": ("cf", "fp"),
+    "netsyn_lcs": ("lcs", "fp"),
+    "netsyn_fp": ("fp",),
+    "edit": (),
+    "oracle": (),
+    "pushgp": (),
+    "deepcoder": ("fp",),
+    "pccoder": ("step",),
+    "robustfill": ("decoder",),
+}
+
+
+def required_artifacts(methods: Iterable[str]) -> set:
+    """Names of every Phase-1 artifact the given methods need."""
+    needed: set = set()
+    for method in methods:
+        if method not in _REQUIREMENTS:
+            raise KeyError(f"unknown method {method!r}; known: {METHOD_NAMES}")
+        needed.update(_REQUIREMENTS[method])
+    return needed
+
+
+def build_context(
+    config: Optional[NetSynConfig] = None,
+    methods: Iterable[str] = METHOD_NAMES,
+    verbose: bool = False,
+) -> SynthesizerContext:
+    """Train every artifact the given methods need and return the context."""
+    config = config or NetSynConfig()
+    config.validate()
+    context = SynthesizerContext(config=config)
+    needed = required_artifacts(methods)
+
+    if "cf" in needed:
+        logger.info("training CF trace model")
+        context.artifacts["cf"] = train_trace_model(
+            kind="cf", training=config.training, nn=config.nn, dsl=config.dsl, verbose=verbose
+        )
+    if "lcs" in needed:
+        logger.info("training LCS trace model")
+        context.artifacts["lcs"] = train_trace_model(
+            kind="lcs", training=config.training, nn=config.nn, dsl=config.dsl, verbose=verbose
+        )
+    if "fp" in needed:
+        logger.info("training FP model")
+        context.artifacts["fp"] = train_fp_model(
+            training=config.training, nn=config.nn, dsl=config.dsl, verbose=verbose
+        )
+    if "step" in needed:
+        logger.info("training PCCoder step model")
+        context.artifacts["step"] = train_step_model(
+            training=config.training, nn=config.nn, dsl=config.dsl, verbose=verbose
+        )
+    if "decoder" in needed:
+        logger.info("training RobustFill decoder model")
+        context.artifacts["decoder"] = train_decoder_model(
+            training=config.training, nn=config.nn, dsl=config.dsl, verbose=verbose
+        )
+    return context
+
+
+def build_synthesizer(name: str, context: SynthesizerContext, program_length: Optional[int] = None) -> Synthesizer:
+    """Instantiate the named method against a prepared context."""
+    if name not in _REQUIREMENTS:
+        raise KeyError(f"unknown method {name!r}; known: {METHOD_NAMES}")
+    config = context.config
+    length = program_length or config.program_length
+    config = config.replace(program_length=length)
+
+    if name in ("netsyn_cf", "netsyn_lcs", "netsyn_fp"):
+        kind = name.split("_", 1)[1]
+        trace = context.artifacts.get(kind) if kind in ("cf", "lcs") else None
+        fp = context.artifacts.get("fp")
+        return make_netsyn_synthesizer(kind, config, trace_artifacts=trace, fp_artifacts=fp)
+    if name == "edit":
+        return EditGASynthesizer(config)
+    if name == "oracle":
+        return OracleGASynthesizer(config, kind="lcs")
+    if name == "pushgp":
+        return PushGPSynthesizer(program_length=length)
+    if name == "deepcoder":
+        return DeepCoderSynthesizer(context.get("fp"), program_length=length)
+    if name == "pccoder":
+        return PCCoderSynthesizer(context.get("step"), program_length=length)
+    if name == "robustfill":
+        return RobustFillSynthesizer(context.get("decoder"), program_length=length)
+    raise KeyError(name)  # pragma: no cover - guarded above

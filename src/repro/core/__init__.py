@@ -1,0 +1,16 @@
+"""NetSyn core: Phase-1 model training and Phase-2 GA-based synthesis."""
+
+from repro.ga.budget import SearchBudget, BudgetExhausted
+from repro.core.result import SynthesisResult
+from repro.core.phase1 import Phase1Artifacts, train_fp_model, train_trace_model
+from repro.core.netsyn import NetSyn
+
+__all__ = [
+    "SearchBudget",
+    "BudgetExhausted",
+    "SynthesisResult",
+    "Phase1Artifacts",
+    "train_fp_model",
+    "train_trace_model",
+    "NetSyn",
+]

@@ -1,0 +1,254 @@
+"""The NetSyn synthesizer facade.
+
+:class:`NetSyn` wires the two phases of Figure 1 together:
+
+* **Phase 1 — fitness function generation** (:meth:`NetSyn.fit`): generate
+  a corpus of random example programs and train the neural fitness model
+  configured by ``NetSynConfig.fitness_kind`` (plus the FP model whenever
+  FP-guided mutation is enabled).
+* **Phase 2 — program generation** (:meth:`NetSyn.synthesize`): run the
+  genetic algorithm with the learned fitness function, FP-guided mutation
+  and restricted local neighborhood search until a program equivalent to
+  the target under the IO examples is found or the candidate budget is
+  exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import NetSynConfig
+from repro.core.phase1 import Phase1Artifacts, train_fp_model, train_trace_model
+from repro.core.result import SynthesisResult
+from repro.dsl.equivalence import IOSet
+from repro.dsl.interpreter import Interpreter
+from repro.dsl.program import Program
+from repro.fitness.base import FitnessFunction
+from repro.fitness.functions import (
+    EditDistanceFitness,
+    LearnedTraceFitness,
+    OracleFitness,
+    ProbabilityMapFitness,
+)
+from repro.ga.budget import SearchBudget
+from repro.ga.engine import GeneticAlgorithm
+from repro.ga.neighborhood import NeighborhoodSearch
+from repro.ga.operators import GeneOperators
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngFactory
+from repro.utils.timing import Stopwatch
+
+logger = get_logger("core.netsyn")
+
+
+class NetSyn:
+    """GA-based program synthesizer with a learned fitness function."""
+
+    def __init__(self, config: Optional[NetSynConfig] = None) -> None:
+        self.config = config or NetSynConfig()
+        self.config.validate()
+        self._factory = RngFactory(self.config.seed)
+        self._trace_artifacts: Optional[Phase1Artifacts] = None
+        self._fp_artifacts: Optional[Phase1Artifacts] = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def needs_trace_model(self) -> bool:
+        """True when the configured fitness requires the CF/LCS trace model."""
+        return self.config.fitness_kind in ("cf", "lcs")
+
+    @property
+    def needs_fp_model(self) -> bool:
+        """True when the FP model must be trained (FP fitness or FP mutation)."""
+        return self.config.fitness_kind == "fp" or self.config.fp_guided_mutation
+
+    @property
+    def trace_artifacts(self) -> Optional[Phase1Artifacts]:
+        """Phase-1 artifacts of the trace model (after :meth:`fit`)."""
+        return self._trace_artifacts
+
+    @property
+    def fp_artifacts(self) -> Optional[Phase1Artifacts]:
+        """Phase-1 artifacts of the FP model (after :meth:`fit`)."""
+        return self._fp_artifacts
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        trace_samples=None,
+        fp_io_sets=None,
+        fp_memberships=None,
+        verbose: bool = False,
+    ) -> "NetSyn":
+        """Phase 1: train the neural fitness model(s).
+
+        Pre-generated corpora may be passed to reuse data across several
+        synthesizers (the evaluation harness does this); otherwise fresh
+        corpora are generated from the configuration.
+        """
+        cfg = self.config
+        if self.needs_trace_model:
+            self._trace_artifacts = train_trace_model(
+                kind=cfg.fitness_kind,
+                training=cfg.training,
+                nn=cfg.nn,
+                dsl=cfg.dsl,
+                samples=trace_samples,
+                verbose=verbose,
+            )
+        if self.needs_fp_model:
+            self._fp_artifacts = train_fp_model(
+                training=cfg.training,
+                nn=cfg.nn,
+                dsl=cfg.dsl,
+                io_sets=fp_io_sets,
+                memberships=fp_memberships,
+                verbose=verbose,
+            )
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def set_models(
+        self,
+        trace_artifacts: Optional[Phase1Artifacts] = None,
+        fp_artifacts: Optional[Phase1Artifacts] = None,
+    ) -> "NetSyn":
+        """Attach pre-trained Phase-1 artifacts instead of calling :meth:`fit`."""
+        if trace_artifacts is not None:
+            self._trace_artifacts = trace_artifacts
+        if fp_artifacts is not None:
+            self._fp_artifacts = fp_artifacts
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def build_fitness(self, target: Optional[Program] = None) -> FitnessFunction:
+        """Construct the fitness function configured for Phase 2."""
+        kind = self.config.fitness_kind
+        if kind in ("cf", "lcs"):
+            if self._trace_artifacts is None:
+                raise RuntimeError("call fit() before synthesize(): the trace model is untrained")
+            return LearnedTraceFitness(
+                self._trace_artifacts.model,
+                kind=kind,
+                encoder=self._trace_artifacts.encoder,
+            )
+        if kind == "fp":
+            if self._fp_artifacts is None:
+                raise RuntimeError("call fit() before synthesize(): the FP model is untrained")
+            return ProbabilityMapFitness(
+                self._fp_artifacts.model, encoder=self._fp_artifacts.encoder
+            )
+        if kind == "edit":
+            return EditDistanceFitness()
+        if kind in ("oracle_cf", "oracle_lcs"):
+            if target is None:
+                raise ValueError("oracle fitness requires the target program")
+            return OracleFitness(target, kind=kind.split("_", 1)[1])
+        raise ValueError(f"unknown fitness kind {kind!r}")
+
+    def _fp_fitness_for_mutation(self) -> Optional[ProbabilityMapFitness]:
+        if not self.config.fp_guided_mutation or self._fp_artifacts is None:
+            return None
+        return ProbabilityMapFitness(self._fp_artifacts.model, encoder=self._fp_artifacts.encoder)
+
+    # ------------------------------------------------------------------
+    def synthesize(
+        self,
+        io_set: IOSet,
+        target: Optional[Program] = None,
+        budget: Optional[SearchBudget] = None,
+        seed: Optional[int] = None,
+        task_id: str = "",
+    ) -> SynthesisResult:
+        """Phase 2: search for a program satisfying ``io_set``.
+
+        Parameters
+        ----------
+        io_set:
+            The input-output specification.
+        target:
+            The hidden target program; only required for oracle fitness
+            kinds (and used purely for scoring, never for early exit).
+        budget:
+            Candidate budget; defaults to ``config.max_search_space``.
+        seed:
+            Per-run seed (the paper repeats each task K times with
+            different random seeds).
+        """
+        cfg = self.config
+        if not self._fitted and (self.needs_trace_model or self.needs_fp_model):
+            raise RuntimeError("call fit() (or set_models()) before synthesize()")
+        budget = budget or SearchBudget(limit=cfg.max_search_space)
+        run_factory = self._factory if seed is None else RngFactory(seed)
+
+        fitness = self.build_fitness(target=target)
+        fp_fitness = self._fp_fitness_for_mutation()
+
+        operators = GeneOperators(
+            program_length=cfg.program_length,
+            rng=run_factory.get("operators"),
+        )
+        neighborhood = None
+        if cfg.neighborhood.enabled:
+            neighborhood = NeighborhoodSearch(
+                config=cfg.neighborhood,
+                fitness=fitness,
+                interpreter=Interpreter(trace=False),
+            )
+
+        # When FP mutation is enabled but the main fitness cannot provide a
+        # probability map, wrap the fitness so the engine sees the FP map.
+        engine_fitness = fitness
+        if fp_fitness is not None and fitness.probability_map(io_set) is None:
+            engine_fitness = _WithProbabilityMap(fitness, fp_fitness)
+
+        engine = GeneticAlgorithm(
+            fitness=engine_fitness,
+            operators=operators,
+            config=cfg.ga,
+            neighborhood=neighborhood,
+            fp_guided_mutation=cfg.fp_guided_mutation,
+            rng=run_factory.get("engine"),
+            interpreter=Interpreter(trace=False),
+        )
+
+        with Stopwatch() as stopwatch:
+            evolution = engine.run(io_set, budget)
+
+        return SynthesisResult(
+            found=evolution.found,
+            program=evolution.program,
+            candidates_used=evolution.candidates_used,
+            budget_limit=budget.limit,
+            generations=evolution.generations,
+            wall_time_seconds=stopwatch.elapsed,
+            found_by=evolution.found_by,
+            method=f"netsyn_{cfg.fitness_kind}",
+            task_id=task_id,
+            neighborhood_invocations=evolution.neighborhood_invocations,
+            average_fitness_history=evolution.average_fitness_history,
+            best_fitness_history=evolution.best_fitness_history,
+        )
+
+
+class _WithProbabilityMap(FitnessFunction):
+    """Adapter combining a primary fitness with an FP model's probability map."""
+
+    def __init__(self, primary: FitnessFunction, fp_fitness: ProbabilityMapFitness) -> None:
+        self.primary = primary
+        self.fp_fitness = fp_fitness
+        self.name = primary.name
+
+    def score(self, programs, io_set):
+        return self.primary.score(programs, io_set)
+
+    def mutation_scores(self, program, io_set):
+        return self.primary.mutation_scores(program, io_set)
+
+    def probability_map(self, io_set):
+        return self.fp_fitness.probability_map(io_set)

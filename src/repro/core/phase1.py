@@ -1,0 +1,129 @@
+"""Phase 1: generate training data and train the neural fitness models.
+
+This module ties together the corpus builder (:mod:`repro.data.corpus`),
+the datasets (:mod:`repro.fitness.datasets`), the models
+(:mod:`repro.fitness.models`) and the trainer (:mod:`repro.nn.training`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import DSLConfig, NNConfig, TrainingConfig
+from repro.data.corpus import CorpusBuilder
+from repro.fitness.datasets import FunctionProbabilityDataset, TraceFitnessDataset
+from repro.fitness.features import FeatureEncoder, FitnessSample
+from repro.fitness.models import FunctionProbabilityModel, TraceFitnessModel
+from repro.nn.optimizers import Adam
+from repro.nn.training import Trainer, TrainingHistory
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngFactory
+
+logger = get_logger("core.phase1")
+
+
+@dataclass
+class Phase1Artifacts:
+    """Everything produced by Phase 1 for one model."""
+
+    model: object
+    history: TrainingHistory
+    encoder: FeatureEncoder
+    validation_metrics: Dict[str, float] = field(default_factory=dict)
+
+
+def train_trace_model(
+    kind: str = "cf",
+    training: Optional[TrainingConfig] = None,
+    nn: Optional[NNConfig] = None,
+    dsl: Optional[DSLConfig] = None,
+    samples: Optional[List[FitnessSample]] = None,
+    verbose: bool = False,
+) -> Phase1Artifacts:
+    """Train the CF or LCS trace fitness model.
+
+    Parameters
+    ----------
+    kind:
+        ``"cf"`` or ``"lcs"`` — which ideal fitness the model predicts.
+    training, nn, dsl:
+        Configuration blocks (defaults are the library defaults).
+    samples:
+        Pre-generated training samples; when omitted a fresh balanced
+        corpus is generated from the configuration.
+    """
+    training = training or TrainingConfig()
+    nn = nn or NNConfig()
+    dsl = dsl or DSLConfig()
+    factory = RngFactory(training.seed)
+
+    if samples is None:
+        builder = CorpusBuilder(training=training, dsl=dsl)
+        samples = builder.build_trace_samples(kind=kind)
+    if not samples:
+        raise ValueError("no training samples available")
+
+    encoder = FeatureEncoder()
+    dataset = TraceFitnessDataset(samples, encoder)
+    train_set, val_set = dataset.split(training.validation_fraction, factory.get("trace-split"))
+
+    n_classes = training.program_length + 1
+    model = TraceFitnessModel(n_classes=n_classes, config=nn, rng=factory.get("trace-init"))
+    optimizer = Adam(model.parameters(), learning_rate=training.learning_rate)
+    trainer = Trainer(model, optimizer, rng=factory.get("trace-batches"))
+    history = trainer.fit(
+        train_set,
+        epochs=training.epochs,
+        batch_size=training.batch_size,
+        validation=val_set if len(val_set) else None,
+        verbose=verbose,
+    )
+    validation_metrics = history.val_metrics[-1] if history.val_metrics else {}
+    logger.info("trained %s trace model: %s", kind, history.last())
+    return Phase1Artifacts(
+        model=model, history=history, encoder=encoder, validation_metrics=validation_metrics
+    )
+
+
+def train_fp_model(
+    training: Optional[TrainingConfig] = None,
+    nn: Optional[NNConfig] = None,
+    dsl: Optional[DSLConfig] = None,
+    io_sets=None,
+    memberships: Optional[np.ndarray] = None,
+    verbose: bool = False,
+) -> Phase1Artifacts:
+    """Train the function-probability (FP) model from IO examples only."""
+    training = training or TrainingConfig()
+    nn = nn or NNConfig()
+    dsl = dsl or DSLConfig()
+    factory = RngFactory(training.seed + 1)
+
+    if io_sets is None or memberships is None:
+        builder = CorpusBuilder(training=training, dsl=dsl)
+        io_sets, memberships = builder.build_fp_data()
+    if len(io_sets) == 0:
+        raise ValueError("no training data available")
+
+    encoder = FeatureEncoder()
+    dataset = FunctionProbabilityDataset(io_sets, memberships, encoder)
+    train_set, val_set = dataset.split(training.validation_fraction, factory.get("fp-split"))
+
+    model = FunctionProbabilityModel(config=nn, rng=factory.get("fp-init"))
+    optimizer = Adam(model.parameters(), learning_rate=training.learning_rate)
+    trainer = Trainer(model, optimizer, rng=factory.get("fp-batches"))
+    history = trainer.fit(
+        train_set,
+        epochs=training.epochs,
+        batch_size=training.batch_size,
+        validation=val_set if len(val_set) else None,
+        verbose=verbose,
+    )
+    validation_metrics = history.val_metrics[-1] if history.val_metrics else {}
+    logger.info("trained FP model: %s", history.last())
+    return Phase1Artifacts(
+        model=model, history=history, encoder=encoder, validation_metrics=validation_metrics
+    )

@@ -1,0 +1,75 @@
+"""Synthesis results and run statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dsl.program import Program
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one synthesis run (one method, one task, one seed).
+
+    Attributes
+    ----------
+    found:
+        Whether a program satisfying every IO example was found within the
+        candidate budget.
+    program:
+        The synthesized program, when found.
+    candidates_used:
+        Number of candidate programs examined — the paper's "search space
+        used" metric.
+    budget_limit:
+        The run's candidate budget (``max_search_space``).
+    generations:
+        GA generations executed (0 for non-GA baselines).
+    wall_time_seconds:
+        Wall-clock synthesis time.
+    found_by:
+        Which mechanism produced the solution: ``"init"``, ``"ga"``,
+        ``"ns"``, ``"search"`` (enumerative baselines) or ``"none"``.
+    method:
+        Name of the synthesizer that produced this result.
+    task_id:
+        Identifier of the task, when run through the evaluation harness.
+    average_fitness_history / best_fitness_history:
+        Per-generation fitness statistics (GA methods only).
+    """
+
+    found: bool
+    program: Optional[Program] = None
+    candidates_used: int = 0
+    budget_limit: int = 0
+    generations: int = 0
+    wall_time_seconds: float = 0.0
+    found_by: str = "none"
+    method: str = ""
+    task_id: str = ""
+    neighborhood_invocations: int = 0
+    average_fitness_history: List[float] = field(default_factory=list)
+    best_fitness_history: List[float] = field(default_factory=list)
+
+    @property
+    def search_space_fraction(self) -> float:
+        """Fraction of the candidate budget consumed (paper's y-axis in Fig. 4a-c)."""
+        if self.budget_limit <= 0:
+            return 0.0
+        return min(1.0, self.candidates_used / self.budget_limit)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (omits the fitness histories)."""
+        return {
+            "found": self.found,
+            "program": list(self.program.function_ids) if self.program else None,
+            "candidates_used": self.candidates_used,
+            "budget_limit": self.budget_limit,
+            "generations": self.generations,
+            "wall_time_seconds": self.wall_time_seconds,
+            "found_by": self.found_by,
+            "method": self.method,
+            "task_id": self.task_id,
+            "neighborhood_invocations": self.neighborhood_invocations,
+        }

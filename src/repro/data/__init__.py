@@ -1,0 +1,29 @@
+"""Data generation: training corpora and benchmark suites.
+
+Phase 1 of NetSyn needs a corpus of random example programs with IO
+examples and labelled candidate programs (:mod:`repro.data.corpus`);
+the evaluation needs suites of held-out test programs split into
+singleton-output and list-output programs (:mod:`repro.data.tasks`).
+"""
+
+from repro.data.corpus import (
+    CorpusBuilder,
+    build_fp_training_data,
+    build_trace_training_samples,
+)
+from repro.data.tasks import (
+    BenchmarkSuite,
+    SynthesisTask,
+    make_benchmark_suite,
+    make_synthesis_task,
+)
+
+__all__ = [
+    "CorpusBuilder",
+    "build_fp_training_data",
+    "build_trace_training_samples",
+    "BenchmarkSuite",
+    "SynthesisTask",
+    "make_benchmark_suite",
+    "make_synthesis_task",
+]

@@ -1,0 +1,176 @@
+"""Training-corpus generation for the neural fitness models (Phase 1).
+
+For the trace-based CF/LCS models, each training sample pairs a randomly
+generated *target* program ``Pe`` (whose IO examples play the role of the
+specification) with a *candidate* program ``Pr``; the label is the ideal
+fitness ``CF(Pr, Pe)`` or ``LCS(Pr, Pe)``.  The paper generates its corpus
+so that every possible label value 0..L is equally represented; the
+:class:`CorpusBuilder` reproduces that balancing by constructing
+candidates that share a controlled number of functions with the target
+and bucketing samples by their true label.
+
+For the function-probability model, each sample is simply the IO set of a
+random program paired with its function-membership vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import TrainingConfig, DSLConfig
+from repro.dsl.dce import has_dead_code
+from repro.dsl.equivalence import IOSet, make_io_set
+from repro.dsl.functions import FunctionRegistry, REGISTRY
+from repro.dsl.generator import InputGenerator, ProgramGenerator
+from repro.dsl.interpreter import Interpreter
+from repro.dsl.program import Program
+from repro.fitness.features import FitnessSample, sample_from_execution
+from repro.fitness.ideal import common_functions, function_membership, lcs_length
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngFactory
+
+logger = get_logger("data.corpus")
+
+
+@dataclass
+class CorpusBuilder:
+    """Generates balanced training data for the fitness models."""
+
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    dsl: DSLConfig = field(default_factory=DSLConfig)
+    registry: FunctionRegistry = field(default_factory=lambda: REGISTRY)
+
+    def __post_init__(self) -> None:
+        self.training.validate()
+        self.dsl.validate()
+        self._factory = RngFactory(self.training.seed)
+        self._interpreter = Interpreter()
+        self._program_generator = ProgramGenerator(
+            registry=self.registry, rng=self._factory.get("corpus-programs")
+        )
+        self._input_generator = InputGenerator(
+            min_length=self.dsl.min_input_length,
+            max_length=self.dsl.max_input_length,
+            min_value=self.dsl.min_input_value,
+            max_value=self.dsl.max_input_value,
+            rng=self._factory.get("corpus-inputs"),
+        )
+        self._candidate_rng = self._factory.get("corpus-candidates")
+
+    # ------------------------------------------------------------------
+    def _target_with_io(self) -> Tuple[Program, IOSet]:
+        """One random target program with its IO specification."""
+        target, inputs, _ = self._program_generator.interesting_program(
+            self.training.program_length,
+            self._input_generator,
+            n_probe_inputs=self.training.n_io_examples,
+        )
+        io_set = make_io_set(target, inputs, self._interpreter)
+        return target, io_set
+
+    # ------------------------------------------------------------------
+    def _candidate_with_overlap(self, target: Program, desired: int) -> Program:
+        """A candidate sharing roughly ``desired`` positions with ``target``.
+
+        Candidate construction keeps ``desired`` randomly chosen positions
+        of the target and replaces the remaining positions with functions
+        that do not occur in the target, which concentrates both the CF
+        and LCS labels around ``desired``.  The true label is recomputed
+        by the caller, so the construction only needs to be approximate.
+        """
+        length = len(target)
+        desired = int(np.clip(desired, 0, length))
+        rng = self._candidate_rng
+        target_set = set(target.function_ids)
+        non_target = [fid for fid in self.registry.ids if fid not in target_set]
+        for _ in range(25):
+            keep = set(rng.choice(length, size=desired, replace=False)) if desired else set()
+            ids = []
+            for position in range(length):
+                if position in keep:
+                    ids.append(target.function_ids[position])
+                else:
+                    pool = non_target if non_target else list(self.registry.ids)
+                    ids.append(int(rng.choice(pool)))
+            candidate = Program(ids, self.registry)
+            if not has_dead_code(candidate):
+                return candidate
+        return candidate
+
+    # ------------------------------------------------------------------
+    def build_trace_samples(self, kind: str = "cf", count: Optional[int] = None) -> List[FitnessSample]:
+        """Balanced training samples for the CF or LCS trace model."""
+        if kind not in ("cf", "lcs"):
+            raise ValueError("kind must be 'cf' or 'lcs'")
+        total = count if count is not None else self.training.corpus_size
+        length = self.training.program_length
+        n_labels = length + 1
+        metric = common_functions if kind == "cf" else lcs_length
+
+        per_label_target = max(1, total // n_labels) if self.training.balance_labels else None
+        buckets: Dict[int, int] = {label: 0 for label in range(n_labels)}
+        samples: List[FitnessSample] = []
+        attempts = 0
+        max_attempts = total * 30
+        desired_cycle = 0
+
+        while len(samples) < total and attempts < max_attempts:
+            attempts += 1
+            target, io_set = self._target_with_io()
+            desired = desired_cycle % n_labels
+            desired_cycle += 1
+            candidate = self._candidate_with_overlap(target, desired)
+            label = int(metric(candidate, target))
+            if self.training.balance_labels and per_label_target is not None:
+                if buckets[label] >= per_label_target and len(samples) < total - 1:
+                    continue
+            traces = [self._interpreter.run(candidate, example.inputs) for example in io_set]
+            samples.append(sample_from_execution(candidate, io_set, traces, label=label))
+            buckets[label] += 1
+
+        if len(samples) < total:
+            logger.warning(
+                "corpus builder produced %d/%d samples (label balance too strict)",
+                len(samples),
+                total,
+            )
+        return samples
+
+    # ------------------------------------------------------------------
+    def build_fp_data(self, count: Optional[int] = None) -> Tuple[List[IOSet], np.ndarray]:
+        """IO sets and function-membership vectors for the FP model."""
+        total = count if count is not None else self.training.corpus_size
+        io_sets: List[IOSet] = []
+        memberships: List[np.ndarray] = []
+        for _ in range(total):
+            target, io_set = self._target_with_io()
+            io_sets.append(io_set)
+            memberships.append(function_membership(target, self.registry))
+        return io_sets, np.asarray(memberships)
+
+
+# ---------------------------------------------------------------------------
+# Convenience functions
+# ---------------------------------------------------------------------------
+
+
+def build_trace_training_samples(
+    kind: str = "cf",
+    training: Optional[TrainingConfig] = None,
+    dsl: Optional[DSLConfig] = None,
+) -> List[FitnessSample]:
+    """One-call construction of balanced CF/LCS training samples."""
+    builder = CorpusBuilder(training=training or TrainingConfig(), dsl=dsl or DSLConfig())
+    return builder.build_trace_samples(kind=kind)
+
+
+def build_fp_training_data(
+    training: Optional[TrainingConfig] = None,
+    dsl: Optional[DSLConfig] = None,
+) -> Tuple[List[IOSet], np.ndarray]:
+    """One-call construction of FP-model training data."""
+    builder = CorpusBuilder(training=training or TrainingConfig(), dsl=dsl or DSLConfig())
+    return builder.build_fp_data()

@@ -1,0 +1,158 @@
+"""Synthesis tasks and benchmark suites.
+
+A :class:`SynthesisTask` is what a synthesizer receives: an IO
+specification (the target program is kept only for oracle baselines and
+for reporting).  A :class:`BenchmarkSuite` is the paper's test set: for
+each program length, half the programs produce a singleton integer
+("singleton programs") and half produce a list ("list programs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import DSLConfig
+from repro.dsl.equivalence import IOSet, make_io_set
+from repro.dsl.generator import InputGenerator, ProgramGenerator
+from repro.dsl.interpreter import Interpreter
+from repro.dsl.program import Program
+from repro.dsl.types import INT, LIST
+from repro.utils.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class SynthesisTask:
+    """One program-synthesis problem instance.
+
+    Attributes
+    ----------
+    target:
+        The hidden target program (available to oracle baselines and used
+        to compute per-function statistics for Figures 5 and 6).
+    io_set:
+        The input-output examples given to the synthesizer.
+    length:
+        Nominal length of the target program.
+    is_singleton:
+        True when the target's final output is a single integer.
+    task_id:
+        Stable identifier within its suite.
+    """
+
+    target: Program
+    io_set: IOSet
+    length: int
+    is_singleton: bool
+    task_id: str = ""
+
+    @property
+    def n_examples(self) -> int:
+        return len(self.io_set)
+
+
+@dataclass
+class BenchmarkSuite:
+    """A collection of synthesis tasks of one program length."""
+
+    length: int
+    tasks: List[SynthesisTask] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[SynthesisTask]:
+        return iter(self.tasks)
+
+    def __getitem__(self, index: int) -> SynthesisTask:
+        return self.tasks[index]
+
+    @property
+    def singleton_tasks(self) -> List[SynthesisTask]:
+        """Tasks whose target produces a single integer."""
+        return [t for t in self.tasks if t.is_singleton]
+
+    @property
+    def list_tasks(self) -> List[SynthesisTask]:
+        """Tasks whose target produces a list of integers."""
+        return [t for t in self.tasks if not t.is_singleton]
+
+
+def make_synthesis_task(
+    length: int = 5,
+    seed: int = 0,
+    dsl_config: Optional[DSLConfig] = None,
+    singleton: Optional[bool] = None,
+    task_id: str = "",
+) -> SynthesisTask:
+    """Generate one random synthesis task.
+
+    Parameters
+    ----------
+    length:
+        Target program length.
+    seed:
+        Seed controlling the target program and its IO examples.
+    dsl_config:
+        Input-generation parameters (defaults to :class:`DSLConfig`).
+    singleton:
+        Force a singleton-output (True) or list-output (False) target;
+        None leaves the output type unconstrained.
+    """
+    config = dsl_config or DSLConfig()
+    config.validate()
+    factory = RngFactory(seed)
+    program_generator = ProgramGenerator(rng=factory.get("task-program"))
+    input_generator = InputGenerator(
+        min_length=config.min_input_length,
+        max_length=config.max_input_length,
+        min_value=config.min_input_value,
+        max_value=config.max_input_value,
+        rng=factory.get("task-input"),
+    )
+    output_type = None if singleton is None else (INT if singleton else LIST)
+    target, inputs, _ = program_generator.interesting_program(
+        length, input_generator, n_probe_inputs=config.n_io_examples, output_type=output_type
+    )
+    io_set = make_io_set(target, inputs, Interpreter(trace=False))
+    return SynthesisTask(
+        target=target,
+        io_set=io_set,
+        length=length,
+        is_singleton=target.produces_singleton(),
+        task_id=task_id or f"len{length}-seed{seed}",
+    )
+
+
+def make_benchmark_suite(
+    length: int,
+    n_programs: int,
+    seed: int = 0,
+    dsl_config: Optional[DSLConfig] = None,
+    singleton_fraction: float = 0.5,
+) -> BenchmarkSuite:
+    """Generate the paper-style test suite for one program length.
+
+    The first ``singleton_fraction`` of the programs produce a singleton
+    integer output and the remainder produce a list, mirroring the paper's
+    50/50 split of its 100 test programs per length.
+    """
+    if n_programs <= 0:
+        raise ValueError("n_programs must be positive")
+    if not 0.0 <= singleton_fraction <= 1.0:
+        raise ValueError("singleton_fraction must be in [0, 1]")
+    n_singleton = int(round(n_programs * singleton_fraction))
+    suite = BenchmarkSuite(length=length)
+    for index in range(n_programs):
+        singleton = index < n_singleton
+        task = make_synthesis_task(
+            length=length,
+            seed=seed * 100_003 + index,
+            dsl_config=dsl_config,
+            singleton=singleton,
+            task_id=f"len{length}-{'singleton' if singleton else 'list'}-{index}",
+        )
+        suite.tasks.append(task)
+    return suite

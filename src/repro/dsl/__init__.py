@@ -1,0 +1,80 @@
+"""List-manipulation DSL used by NetSyn (Appendix A of the paper).
+
+The DSL has two data types — integers and lists of integers — and 41
+functions.  Programs are flat sequences of function calls; arguments are
+resolved implicitly by searching backwards for the most recent value of
+the required type (falling back to the program inputs and then to default
+values).  Every program composed of DSL functions is valid by
+construction, which is what makes the DSL amenable to genetic search.
+"""
+
+from repro.dsl.types import (
+    INT,
+    LIST,
+    DEFAULT_INT,
+    DEFAULT_LIST,
+    INT_MIN,
+    INT_MAX,
+    DSLType,
+    Value,
+    clamp_int,
+    clamp_list,
+    default_for,
+    type_of,
+    values_equal,
+)
+from repro.dsl.functions import (
+    DSLFunction,
+    FunctionRegistry,
+    REGISTRY,
+    Signature,
+    SIGNATURES,
+)
+from repro.dsl.program import Program
+from repro.dsl.interpreter import ExecutionTrace, Interpreter, StepRecord
+from repro.dsl.dce import eliminate_dead_code, effective_length, has_dead_code
+from repro.dsl.generator import ProgramGenerator, InputGenerator
+from repro.dsl.equivalence import (
+    IOExample,
+    IOSet,
+    make_io_set,
+    outputs_match,
+    programs_equivalent,
+    satisfies_io_set,
+)
+
+__all__ = [
+    "INT",
+    "LIST",
+    "DEFAULT_INT",
+    "DEFAULT_LIST",
+    "INT_MIN",
+    "INT_MAX",
+    "DSLType",
+    "Value",
+    "clamp_int",
+    "clamp_list",
+    "default_for",
+    "type_of",
+    "values_equal",
+    "DSLFunction",
+    "FunctionRegistry",
+    "REGISTRY",
+    "Signature",
+    "SIGNATURES",
+    "Program",
+    "ExecutionTrace",
+    "Interpreter",
+    "StepRecord",
+    "eliminate_dead_code",
+    "effective_length",
+    "has_dead_code",
+    "ProgramGenerator",
+    "InputGenerator",
+    "IOExample",
+    "IOSet",
+    "make_io_set",
+    "outputs_match",
+    "programs_equivalent",
+    "satisfies_io_set",
+]

@@ -1,0 +1,111 @@
+"""Dead code elimination (DCE) for DSL programs.
+
+A statement is *dead* when its output is never consumed — neither by a
+later statement's argument binding nor as the final program output.
+Because argument resolution in the DSL depends only on the *types* of
+previously produced values (and every function's return type is static),
+liveness can be computed purely statically, without executing the program.
+
+The genetic algorithm uses :func:`has_dead_code` to reject candidate genes
+whose effective length would be shorter than the target program length
+(Section 4.2 of the paper), and :func:`eliminate_dead_code` when a cleaned
+program is needed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.dsl.functions import FunctionRegistry, REGISTRY
+from repro.dsl.program import Program
+from repro.dsl.types import DSLType
+
+
+def _binding_graph(
+    program: Program, input_types: Sequence[DSLType]
+) -> List[Tuple[Optional[int], ...]]:
+    """For each statement, the history positions its arguments bind to.
+
+    History positions ``0 .. len(input_types)-1`` are the program inputs;
+    position ``len(input_types) + k`` is the output of statement ``k``.
+    ``None`` means the argument fell back to a default value.
+    """
+    registry: FunctionRegistry = program.registry
+    history_types: List[DSLType] = list(input_types)
+    bindings: List[Tuple[Optional[int], ...]] = []
+    for fid in program.function_ids:
+        fn = registry.by_id(fid)
+        used: Set[int] = set()
+        stmt_bindings: List[Optional[int]] = []
+        for arg_type in fn.arg_types:
+            found: Optional[int] = None
+            for position in range(len(history_types) - 1, -1, -1):
+                if position in used:
+                    continue
+                if history_types[position] is arg_type:
+                    found = position
+                    break
+            if found is not None:
+                used.add(found)
+            stmt_bindings.append(found)
+        bindings.append(tuple(stmt_bindings))
+        history_types.append(fn.return_type)
+    return bindings
+
+
+def live_statements(
+    program: Program, input_types: Sequence[DSLType] = (DSLType.LIST,)
+) -> List[bool]:
+    """Liveness flag for every statement of ``program``.
+
+    The last statement is always live (it produces the program output);
+    liveness propagates backwards through argument bindings.
+    """
+    n = len(program)
+    if n == 0:
+        return []
+    bindings = _binding_graph(program, input_types)
+    n_inputs = len(input_types)
+    live = [False] * n
+    live[n - 1] = True
+    # statements are in topological order, so one backwards sweep suffices
+    for index in range(n - 1, -1, -1):
+        if not live[index]:
+            continue
+        for position in bindings[index]:
+            if position is not None and position >= n_inputs:
+                live[position - n_inputs] = True
+    return live
+
+
+def has_dead_code(
+    program: Program, input_types: Sequence[DSLType] = (DSLType.LIST,)
+) -> bool:
+    """True when at least one statement's output is never used."""
+    return not all(live_statements(program, input_types))
+
+
+def effective_length(
+    program: Program, input_types: Sequence[DSLType] = (DSLType.LIST,)
+) -> int:
+    """Number of live statements in ``program``."""
+    return sum(live_statements(program, input_types))
+
+
+def eliminate_dead_code(
+    program: Program, input_types: Sequence[DSLType] = (DSLType.LIST,)
+) -> Program:
+    """Return ``program`` with all dead statements removed.
+
+    Removal is iterated to a fixpoint: deleting a dead statement can only
+    expose further statements that were kept alive solely by dead code.
+    """
+    current = program
+    while True:
+        flags = live_statements(current, input_types)
+        if all(flags):
+            return current
+        kept = [fid for fid, alive in zip(current.function_ids, flags) if alive]
+        current = Program(kept, current.registry)
+        if len(current) == 0:
+            return current

@@ -1,0 +1,86 @@
+"""Program equivalence under a set of input-output examples (Definition 3.1).
+
+Two programs are equivalent under an IO set ``S`` when they produce the
+same output on every input of ``S``.  NetSyn's success criterion is that
+the synthesized program is equivalent to the (unknown) target program
+under the provided examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.dsl.interpreter import Interpreter
+from repro.dsl.program import Program
+from repro.dsl.types import Value, values_equal
+
+
+@dataclass(frozen=True)
+class IOExample:
+    """A single input-output example ``(I_j, O_j)``.
+
+    ``inputs`` is the tuple of program inputs (usually one list of ints);
+    ``output`` is the expected program output.
+    """
+
+    inputs: Tuple[Value, ...]
+    output: Value
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "inputs",
+            tuple(list(v) if isinstance(v, (list, tuple)) else int(v) for v in self.inputs),
+        )
+        out = self.output
+        object.__setattr__(
+            self, "output", list(out) if isinstance(out, (list, tuple)) else int(out)
+        )
+
+    def __hash__(self) -> int:
+        def freeze(v):
+            return tuple(v) if isinstance(v, list) else v
+
+        return hash((tuple(freeze(v) for v in self.inputs), freeze(self.output)))
+
+
+#: An IO specification: the list of examples the synthesized program must satisfy.
+IOSet = List[IOExample]
+
+
+def make_io_set(
+    program: Program, inputs: Sequence[Sequence[Value]], interpreter: Interpreter | None = None
+) -> IOSet:
+    """Build the IO set ``S_t`` by running ``program`` on each input tuple."""
+    interpreter = interpreter or Interpreter()
+    examples: IOSet = []
+    for inp in inputs:
+        output = interpreter.output_of(program, inp)
+        examples.append(IOExample(inputs=tuple(inp), output=output))
+    return examples
+
+
+def outputs_match(program: Program, example: IOExample, interpreter: Interpreter | None = None) -> bool:
+    """True when ``program`` reproduces the single ``example``."""
+    interpreter = interpreter or Interpreter()
+    return values_equal(interpreter.output_of(program, example.inputs), example.output)
+
+
+def satisfies_io_set(
+    program: Program, io_set: IOSet, interpreter: Interpreter | None = None
+) -> bool:
+    """True when ``program`` reproduces every example in ``io_set``."""
+    interpreter = interpreter or Interpreter()
+    return all(outputs_match(program, example, interpreter) for example in io_set)
+
+
+def programs_equivalent(
+    a: Program, b: Program, io_inputs: Sequence[Sequence[Value]], interpreter: Interpreter | None = None
+) -> bool:
+    """Definition 3.1: ``a ≡_S b`` where ``S`` is induced by ``io_inputs``."""
+    interpreter = interpreter or Interpreter()
+    for inp in io_inputs:
+        if not values_equal(interpreter.output_of(a, inp), interpreter.output_of(b, inp)):
+            return False
+    return True

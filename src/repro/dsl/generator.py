@@ -1,0 +1,175 @@
+"""Random generation of DSL programs and program inputs.
+
+The training corpus (Phase 1) and the test suites (Section 5) are built
+from randomly generated programs.  Generation supports:
+
+* rejecting programs with dead code, so the effective program length
+  equals the nominal length (Section 4.2);
+* constraining the output type, so suites can be split into *singleton
+  programs* (final output is one integer) and *list programs*;
+* rejecting degenerate programs whose outputs are constant across inputs
+  (these carry no signal for synthesis or for training a fitness model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dsl.dce import has_dead_code
+from repro.dsl.functions import FunctionRegistry, REGISTRY
+from repro.dsl.interpreter import Interpreter
+from repro.dsl.program import Program
+from repro.dsl.types import DSLType, INT, LIST, INT_MAX, INT_MIN, Value, values_equal
+
+
+@dataclass
+class InputGenerator:
+    """Generates random program inputs (lists of integers).
+
+    Parameters
+    ----------
+    min_length, max_length:
+        Bounds (inclusive) on the generated list length.
+    min_value, max_value:
+        Bounds (inclusive) on the generated element values.
+    rng:
+        Numpy random generator; pass a seeded generator for reproducibility.
+    """
+
+    min_length: int = 5
+    max_length: int = 10
+    min_value: int = -64
+    max_value: int = 64
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def __post_init__(self) -> None:
+        if self.min_length < 0 or self.max_length < self.min_length:
+            raise ValueError("invalid input length bounds")
+        if self.min_value > self.max_value:
+            raise ValueError("invalid input value bounds")
+        if self.min_value < INT_MIN or self.max_value > INT_MAX:
+            raise ValueError("input values must lie inside the DSL integer domain")
+
+    def generate_list(self) -> List[int]:
+        """One random input list."""
+        length = int(self.rng.integers(self.min_length, self.max_length + 1))
+        return [int(v) for v in self.rng.integers(self.min_value, self.max_value + 1, size=length)]
+
+    def generate_inputs(self, count: int) -> List[List[Value]]:
+        """``count`` independent program-input tuples (each a single list)."""
+        return [[self.generate_list()] for _ in range(count)]
+
+
+@dataclass
+class ProgramGenerator:
+    """Generates random DSL programs.
+
+    Parameters
+    ----------
+    registry:
+        Function registry to draw operations from.
+    rng:
+        Numpy random generator.
+    forbid_dead_code:
+        When True (default), programs containing dead code are rejected
+        and regenerated so the effective length equals the nominal length.
+    max_attempts:
+        Safety bound on rejection sampling per generated program.
+    """
+
+    registry: FunctionRegistry = REGISTRY
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    forbid_dead_code: bool = True
+    max_attempts: int = 2000
+    input_types: Tuple[DSLType, ...] = (LIST,)
+
+    # ------------------------------------------------------------------
+    def random_program(
+        self,
+        length: int,
+        output_type: Optional[DSLType] = None,
+    ) -> Program:
+        """Generate one random program of exactly ``length`` statements.
+
+        Parameters
+        ----------
+        length:
+            Number of statements.
+        output_type:
+            When given, the program's final output type is constrained to
+            this type (``INT`` for singleton programs, ``LIST`` otherwise).
+        """
+        if length <= 0:
+            raise ValueError("program length must be positive")
+        all_ids = np.array(self.registry.ids)
+        last_ids = (
+            np.array(self.registry.ids_with_return(output_type))
+            if output_type is not None
+            else all_ids
+        )
+        for _ in range(self.max_attempts):
+            ids = [int(fid) for fid in self.rng.choice(all_ids, size=length)]
+            ids[-1] = int(self.rng.choice(last_ids))
+            program = Program(ids, self.registry)
+            if self.forbid_dead_code and has_dead_code(program, self.input_types):
+                continue
+            return program
+        raise RuntimeError(
+            f"failed to generate a program of length {length} without dead code "
+            f"after {self.max_attempts} attempts"
+        )
+
+    # ------------------------------------------------------------------
+    def random_programs(
+        self,
+        count: int,
+        length: int,
+        output_type: Optional[DSLType] = None,
+        unique: bool = True,
+    ) -> List[Program]:
+        """Generate ``count`` random programs, optionally pairwise distinct."""
+        programs: List[Program] = []
+        seen: set = set()
+        attempts = 0
+        limit = max(self.max_attempts, count * 50)
+        while len(programs) < count:
+            attempts += 1
+            if attempts > limit:
+                raise RuntimeError(
+                    f"could not generate {count} unique programs of length {length}"
+                )
+            program = self.random_program(length, output_type=output_type)
+            if unique:
+                if program.function_ids in seen:
+                    continue
+                seen.add(program.function_ids)
+            programs.append(program)
+        return programs
+
+    # ------------------------------------------------------------------
+    def interesting_program(
+        self,
+        length: int,
+        input_generator: InputGenerator,
+        n_probe_inputs: int = 5,
+        output_type: Optional[DSLType] = None,
+    ) -> Tuple[Program, List[List[Value]], List[Value]]:
+        """Generate a program whose outputs are not constant across inputs.
+
+        Returns the program, the probe inputs used and the corresponding
+        outputs.  Programs that collapse every input to the same output
+        (for instance, a ``FILTER(>0)`` chain that always yields ``[]``)
+        are rejected because they admit trivially many spurious solutions.
+        """
+        interpreter = Interpreter()
+        for _ in range(self.max_attempts):
+            program = self.random_program(length, output_type=output_type)
+            inputs = input_generator.generate_inputs(n_probe_inputs)
+            outputs = [interpreter.output_of(program, inp) for inp in inputs]
+            if all(values_equal(outputs[0], out) for out in outputs[1:]):
+                continue
+            return program, inputs, outputs
+        raise RuntimeError("failed to generate an interesting program")

@@ -1,0 +1,156 @@
+"""Interpreter for the NetSyn list DSL with execution-trace collection.
+
+Argument resolution (Appendix A): there are no named variables.  Each
+argument of a function call binds to the most recently produced value of
+the required type, searching backwards through previous step outputs and
+then the program inputs.  If two arguments of a call need the same type,
+the second binds to the next most recent *distinct* value.  When no value
+of the required type exists, a default is used (0 for ``int``, the empty
+list for ``[int]``).
+
+The interpreter is total: any sequence of DSL functions executes without
+raising, which mirrors the paper's "valid by construction" property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dsl.functions import DSLFunction
+from repro.dsl.program import Program
+from repro.dsl.types import DSLType, Value, default_for, type_of
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One executed statement: the function, its resolved arguments and output."""
+
+    index: int
+    fid: int
+    name: str
+    args: Tuple[Value, ...]
+    output: Value
+
+
+@dataclass
+class ExecutionTrace:
+    """Full record of a single program execution.
+
+    Attributes
+    ----------
+    inputs:
+        The program inputs, in the order supplied.
+    steps:
+        One :class:`StepRecord` per statement, in execution order.
+    output:
+        The program's final output (output of the last statement), or the
+        default value when the program is empty.
+    """
+
+    inputs: Tuple[Value, ...]
+    steps: List[StepRecord] = field(default_factory=list)
+    output: Value = 0
+
+    @property
+    def intermediate_outputs(self) -> List[Value]:
+        """The per-statement outputs ``t_1 .. t_n`` used by the NN-FF."""
+        return [s.output for s in self.steps]
+
+    @property
+    def function_ids(self) -> List[int]:
+        """Function ids in execution order."""
+        return [s.fid for s in self.steps]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class Interpreter:
+    """Executes DSL programs and records execution traces."""
+
+    def __init__(self, trace: bool = True) -> None:
+        self._trace = trace
+
+    # ------------------------------------------------------------------
+    def run(self, program: Program, inputs: Sequence[Value]) -> ExecutionTrace:
+        """Execute ``program`` on ``inputs`` and return the full trace.
+
+        Parameters
+        ----------
+        program:
+            The program to run.
+        inputs:
+            Program inputs; each element is an ``int`` or a list of ints.
+        """
+        normalized: List[Value] = [self._normalize(v) for v in inputs]
+        trace = ExecutionTrace(inputs=tuple(normalized))
+        # history of values available for argument resolution, oldest first:
+        # program inputs, then step outputs as they are produced.
+        history: List[Value] = list(normalized)
+        n_inputs = len(history)
+
+        last_output: Optional[Value] = None
+        for index, fid in enumerate(program.function_ids):
+            fn = program.registry.by_id(fid)
+            args = self._resolve_arguments(fn, history)
+            output = self._normalize(fn(*args))
+            history.append(output)
+            last_output = output
+            if self._trace:
+                trace.steps.append(
+                    StepRecord(index=index, fid=fid, name=fn.name, args=tuple(args), output=output)
+                )
+            elif index == len(program) - 1:
+                trace.steps.append(
+                    StepRecord(index=index, fid=fid, name=fn.name, args=tuple(args), output=output)
+                )
+
+        if last_output is None:
+            # Empty program: output is the default integer (matches the DSL's
+            # "missing value" convention).
+            trace.output = default_for(DSLType.INT)
+        else:
+            trace.output = last_output
+        # keep the number of inputs around for introspection/debugging
+        trace.inputs = tuple(history[:n_inputs])
+        return trace
+
+    def output_of(self, program: Program, inputs: Sequence[Value]) -> Value:
+        """Execute ``program`` and return only its final output."""
+        return self.run(program, inputs).output
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize(value: Value) -> Value:
+        """Convert tuples to lists and validate the value is a DSL value."""
+        kind = type_of(value)
+        if kind is DSLType.LIST:
+            return [int(v) for v in value]
+        return int(value)
+
+    @staticmethod
+    def _resolve_arguments(fn: DSLFunction, history: Sequence[Value]) -> Tuple[Value, ...]:
+        """Bind each argument of ``fn`` per the backwards-search rule."""
+        used_positions: set[int] = set()
+        args: List[Value] = []
+        for arg_type in fn.arg_types:
+            position = Interpreter._find_latest(history, arg_type, used_positions)
+            if position is None:
+                args.append(default_for(arg_type))
+            else:
+                used_positions.add(position)
+                args.append(history[position])
+        return tuple(args)
+
+    @staticmethod
+    def _find_latest(
+        history: Sequence[Value], arg_type: DSLType, excluded: set[int]
+    ) -> Optional[int]:
+        """Index of the most recent value of ``arg_type`` not already bound."""
+        for position in range(len(history) - 1, -1, -1):
+            if position in excluded:
+                continue
+            if type_of(history[position]) is arg_type:
+                return position
+        return None

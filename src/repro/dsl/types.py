@@ -1,0 +1,90 @@
+"""Type system for the NetSyn list DSL.
+
+The DSL has exactly two data types: ``int`` and ``list of int``.  Runtime
+integer values are saturated to the closed interval ``[INT_MIN, INT_MAX]``
+(the DeepCoder convention) so that execution traces can be embedded with a
+finite vocabulary by the neural fitness models.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Union
+
+# Saturation bounds for every integer produced at runtime.  The paper's DSL
+# follows DeepCoder, whose integer domain is [-256, 255]; we use a symmetric
+# [-255, 255] so negation never leaves the domain.
+INT_MIN: int = -255
+INT_MAX: int = 255
+
+#: Default values used when an argument of the required type cannot be
+#: resolved from prior outputs or from the program inputs (Appendix A).
+DEFAULT_INT: int = 0
+DEFAULT_LIST: tuple = ()
+
+Value = Union[int, List[int], tuple]
+
+
+class DSLType(enum.Enum):
+    """The two data types of the DSL."""
+
+    INT = "int"
+    LIST = "[int]"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"DSLType.{self.name}"
+
+
+INT = DSLType.INT
+LIST = DSLType.LIST
+
+
+def clamp_int(value: int) -> int:
+    """Saturate ``value`` into the DSL integer domain."""
+    if value > INT_MAX:
+        return INT_MAX
+    if value < INT_MIN:
+        return INT_MIN
+    return int(value)
+
+
+def clamp_list(values) -> List[int]:
+    """Saturate every element of ``values`` into the DSL integer domain."""
+    return [clamp_int(v) for v in values]
+
+
+def type_of(value: Value) -> DSLType:
+    """Return the DSL type of a runtime value.
+
+    Raises
+    ------
+    TypeError
+        If ``value`` is neither an int nor a list/tuple of ints.
+    """
+    if isinstance(value, bool):
+        raise TypeError("booleans are not DSL values")
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, (list, tuple)):
+        return LIST
+    raise TypeError(f"not a DSL value: {value!r}")
+
+
+def default_for(dsl_type: DSLType) -> Value:
+    """Return the default value for a DSL type (0 or the empty list)."""
+    if dsl_type is INT:
+        return DEFAULT_INT
+    return []
+
+
+def values_equal(a: Value, b: Value) -> bool:
+    """Structural equality between two DSL values.
+
+    Lists and tuples compare equal element-wise; an int never equals a list.
+    """
+    ta, tb = type_of(a), type_of(b)
+    if ta is not tb:
+        return False
+    if ta is INT:
+        return int(a) == int(b)
+    return list(a) == list(b)

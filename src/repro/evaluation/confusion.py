@@ -1,0 +1,71 @@
+"""Confusion matrices for the trace fitness models (Figure 7a-b)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.fitness.datasets import TraceFitnessDataset
+from repro.fitness.models import TraceFitnessModel
+from repro.nn.training import iterate_minibatches
+
+
+def confusion_matrix(true_labels: np.ndarray, predicted_labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Row-normalized confusion matrix.
+
+    Entry ``(i, j)`` is the probability of predicting class ``i`` when the
+    true class is ``j`` — the paper's convention, where each *row of the
+    displayed matrix* corresponds to one true value and sums to 1.  Rows
+    with no examples are left as zeros.
+    """
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    predicted_labels = np.asarray(predicted_labels, dtype=np.int64)
+    if true_labels.shape != predicted_labels.shape:
+        raise ValueError("label arrays must have the same shape")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.float64)
+    for true, predicted in zip(true_labels, predicted_labels):
+        matrix[true, predicted] += 1.0
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        normalized = np.where(row_sums > 0, matrix / row_sums, 0.0)
+    return normalized
+
+
+def confusion_from_model(
+    model: TraceFitnessModel,
+    dataset: TraceFitnessDataset,
+    batch_size: int = 64,
+    max_samples: Optional[int] = None,
+) -> np.ndarray:
+    """Confusion matrix of a trained trace model on a labelled dataset."""
+    n = len(dataset) if max_samples is None else min(len(dataset), max_samples)
+    if n == 0:
+        raise ValueError("dataset is empty")
+    true_labels = []
+    predicted = []
+    for indices in iterate_minibatches(n, batch_size, shuffle=False):
+        batch = dataset.get_batch(indices)
+        true_labels.append(batch["labels"])
+        predicted.append(model.predict_classes(batch))
+    return confusion_matrix(
+        np.concatenate(true_labels), np.concatenate(predicted), model.n_classes
+    )
+
+
+def close_prediction_rate(confusion: np.ndarray, high_class: int) -> float:
+    """Probability mass the matrix puts on high predictions for high labels.
+
+    The paper highlights that for candidates whose true fitness is ``>=
+    high_class`` the model predicts ``>= high_class`` with probability
+    around 0.7 — this helper extracts exactly that number.
+    """
+    n = confusion.shape[0]
+    if not 0 <= high_class < n:
+        raise ValueError("high_class out of range")
+    rows = confusion[high_class:, high_class:]
+    row_mass = confusion[high_class:].sum(axis=1)
+    valid = row_mass > 0
+    if not valid.any():
+        return 0.0
+    return float(rows.sum(axis=1)[valid].mean())

@@ -1,0 +1,154 @@
+"""Data series behind every figure of the paper's evaluation section.
+
+No plotting library is assumed: each function returns the plain numpy
+arrays / dictionaries a plotting front-end (or the benchmark harness,
+which prints them) would consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.confusion import confusion_from_model
+from repro.evaluation.metrics import (
+    RunRecord,
+    filter_records,
+    per_function_synthesis_rate,
+    singleton_vs_list_breakdown,
+    synthesis_rate_by_task,
+    synthesis_rate_distribution,
+)
+from repro.fitness.datasets import TraceFitnessDataset
+from repro.fitness.models import TraceFitnessModel
+from repro.nn.training import TrainingHistory
+
+
+def _per_task_cost_curve(
+    records: Sequence[RunRecord], value_fn
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted per-task cost curve: x = % of programs, y = cost.
+
+    Only tasks synthesized in at least one run appear; the curve
+    terminates where the method stops synthesizing programs, exactly like
+    the lines in Figure 4.
+    """
+    by_task: Dict[str, List[RunRecord]] = {}
+    for record in records:
+        by_task.setdefault(record.task_id, []).append(record)
+    n_tasks = len(by_task)
+    costs = []
+    for runs in by_task.values():
+        successful = [value_fn(r) for r in runs if r.found]
+        if successful:
+            costs.append(float(np.median(successful)))
+    costs.sort()
+    if not costs or n_tasks == 0:
+        return np.array([]), np.array([])
+    x = 100.0 * np.arange(1, len(costs) + 1) / n_tasks
+    return x, np.array(costs)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4
+# ---------------------------------------------------------------------------
+
+
+def fig4_search_space_series(
+    records: Sequence[RunRecord], methods: Sequence[str], length: int
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Figure 4(a)-(c): search space used (fraction of budget) vs % programs."""
+    series = {}
+    for method in methods:
+        subset = filter_records(records, method=method, length=length)
+        series[method] = _per_task_cost_curve(subset, lambda r: r.search_space_fraction)
+    return series
+
+
+def fig4_synthesis_rate_series(
+    records: Sequence[RunRecord], methods: Sequence[str], length: int
+) -> Dict[str, np.ndarray]:
+    """Figure 4(d)-(f): distribution of per-program synthesis rate."""
+    return {
+        method: synthesis_rate_distribution(filter_records(records, method=method, length=length))
+        for method in methods
+    }
+
+
+def fig4_time_series(
+    records: Sequence[RunRecord], methods: Sequence[str], length: int
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Figure 4(g)-(i): synthesis time vs % programs."""
+    series = {}
+    for method in methods:
+        subset = filter_records(records, method=method, length=length)
+        series[method] = _per_task_cost_curve(subset, lambda r: r.wall_time)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figures 5 and 6
+# ---------------------------------------------------------------------------
+
+
+def fig5_singleton_vs_list(
+    records: Sequence[RunRecord], methods: Sequence[str]
+) -> Dict[str, Dict[str, object]]:
+    """Figure 5: per-program synthesis rate split by output type, per method."""
+    result: Dict[str, Dict[str, object]] = {}
+    for method in methods:
+        subset = filter_records(records, method=method)
+        singleton_rates = synthesis_rate_by_task([r for r in subset if r.is_singleton])
+        list_rates = synthesis_rate_by_task([r for r in subset if not r.is_singleton])
+        result[method] = {
+            "singleton_rates": np.array(sorted(singleton_rates.values())),
+            "list_rates": np.array(sorted(list_rates.values())),
+            "summary": singleton_vs_list_breakdown(subset),
+        }
+    return result
+
+
+def fig6_function_breakdown(
+    records: Sequence[RunRecord], methods: Sequence[str], n_functions: int = 41
+) -> Dict[str, np.ndarray]:
+    """Figure 6: synthesis rate of tasks containing each DSL function."""
+    return {
+        method: per_function_synthesis_rate(filter_records(records, method=method), n_functions)
+        for method in methods
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 7
+# ---------------------------------------------------------------------------
+
+
+def fig7_model_quality(
+    trace_models: Dict[str, TraceFitnessModel],
+    validation_sets: Dict[str, TraceFitnessDataset],
+    fp_history: Optional[TrainingHistory] = None,
+) -> Dict[str, object]:
+    """Figure 7: confusion matrices for CF/LCS models and FP accuracy curve.
+
+    Parameters
+    ----------
+    trace_models:
+        Mapping ``{"cf": model, "lcs": model}`` (either key may be absent).
+    validation_sets:
+        Labelled validation datasets keyed the same way.
+    fp_history:
+        Training history of the FP model (its validation ``positive_accuracy``
+        series is the Figure 7(c) curve).
+    """
+    output: Dict[str, object] = {}
+    for kind, model in trace_models.items():
+        if kind not in validation_sets:
+            continue
+        output[f"confusion_{kind}"] = confusion_from_model(model, validation_sets[kind])
+    if fp_history is not None:
+        series = fp_history.metric_series("positive_accuracy", split="val")
+        if all(np.isnan(series)) or not series:
+            series = fp_history.metric_series("positive_accuracy", split="train")
+        output["fp_accuracy_over_epochs"] = np.asarray(series, dtype=np.float64)
+    return output

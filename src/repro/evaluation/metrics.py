@@ -1,0 +1,236 @@
+"""Metrics over synthesis runs.
+
+The central record is :class:`RunRecord`: one synthesis attempt of one
+method on one task with one seed.  All the paper's evaluation quantities
+— synthesis percentage, search-space-used percentile curves (Figure 4a-c,
+Table 4), synthesis-time percentiles (Figure 4g-i, Table 3) and per-task
+synthesis-rate distributions (Figure 4d-f) — are computed from lists of
+records.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.result import SynthesisResult
+
+#: percentiles reported by the paper's Tables 3 and 4
+DEFAULT_PERCENTILES = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+@dataclass
+class RunRecord:
+    """One synthesis attempt: (method, length, task, run) -> result."""
+
+    method: str
+    length: int
+    task_id: str
+    run_index: int
+    result: SynthesisResult
+    is_singleton: bool = False
+    target_function_ids: tuple = ()
+
+    @property
+    def found(self) -> bool:
+        return self.result.found
+
+    @property
+    def candidates_used(self) -> int:
+        return self.result.candidates_used
+
+    @property
+    def search_space_fraction(self) -> float:
+        return self.result.search_space_fraction
+
+    @property
+    def wall_time(self) -> float:
+        return self.result.wall_time_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "length": self.length,
+            "task_id": self.task_id,
+            "run_index": self.run_index,
+            "is_singleton": self.is_singleton,
+            "target_function_ids": list(self.target_function_ids),
+            "result": self.result.to_dict(),
+        }
+
+
+@dataclass
+class MethodSummary:
+    """Aggregate view of one method's records at one program length."""
+
+    method: str
+    length: int
+    n_tasks: int
+    n_runs: int
+    synthesis_percentage: float
+    mean_candidates_when_found: float
+    mean_time_when_found: float
+    search_space_curve: Dict[int, Optional[float]] = field(default_factory=dict)
+    time_curve: Dict[int, Optional[float]] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# grouping helpers
+# ---------------------------------------------------------------------------
+
+
+def _by_task(records: Sequence[RunRecord]) -> Dict[str, List[RunRecord]]:
+    grouped: Dict[str, List[RunRecord]] = defaultdict(list)
+    for record in records:
+        grouped[record.task_id].append(record)
+    return dict(grouped)
+
+
+def filter_records(
+    records: Sequence[RunRecord],
+    method: Optional[str] = None,
+    length: Optional[int] = None,
+) -> List[RunRecord]:
+    """Records matching the given method and/or length."""
+    out = []
+    for record in records:
+        if method is not None and record.method != method:
+            continue
+        if length is not None and record.length != length:
+            continue
+        out.append(record)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# headline metrics
+# ---------------------------------------------------------------------------
+
+
+def synthesis_percentage(records: Sequence[RunRecord]) -> float:
+    """Fraction of tasks synthesized in at least half of their runs.
+
+    The paper reports "percentage of programs synthesized"; a task counts
+    as synthesized when the method finds it in the majority of its K runs
+    (a single lucky run out of many does not count).
+    """
+    grouped = _by_task(records)
+    if not grouped:
+        return 0.0
+    synthesized = 0
+    for runs in grouped.values():
+        rate = np.mean([r.found for r in runs])
+        if rate >= 0.5:
+            synthesized += 1
+    return synthesized / len(grouped)
+
+
+def synthesis_rate_by_task(records: Sequence[RunRecord]) -> Dict[str, float]:
+    """Per-task fraction of successful runs (the violin data of Fig. 4d-f)."""
+    return {task: float(np.mean([r.found for r in runs])) for task, runs in _by_task(records).items()}
+
+
+def synthesis_rate_distribution(records: Sequence[RunRecord]) -> np.ndarray:
+    """Synthesis rates of every task, as an array (for distribution plots)."""
+    rates = synthesis_rate_by_task(records)
+    return np.array(sorted(rates.values()))
+
+
+def percentile_curve(
+    records: Sequence[RunRecord],
+    value_fn,
+    percentiles: Sequence[int] = DEFAULT_PERCENTILES,
+) -> Dict[int, Optional[float]]:
+    """Cost needed to synthesize the easiest p% of tasks, for each percentile.
+
+    For each task the *median* cost over its successful runs is used; tasks
+    never synthesized have infinite cost.  Entry ``p`` is the maximum cost
+    among the cheapest ``p%`` of tasks — i.e. "to synthesize p% of the
+    programs, the method needed at most this much" — or ``None`` when
+    fewer than ``p%`` of the tasks were ever synthesized, matching the
+    dashes in the paper's Tables 3 and 4.
+    """
+    grouped = _by_task(records)
+    if not grouped:
+        return {p: None for p in percentiles}
+    costs: List[float] = []
+    for runs in grouped.values():
+        successful = [value_fn(r) for r in runs if r.found]
+        costs.append(float(np.median(successful)) if successful else float("inf"))
+    costs.sort()
+    n_tasks = len(costs)
+    curve: Dict[int, Optional[float]] = {}
+    for p in percentiles:
+        count = int(np.ceil(p / 100.0 * n_tasks))
+        count = max(1, min(count, n_tasks))
+        value = costs[count - 1]
+        curve[p] = None if np.isinf(value) else value
+    return curve
+
+
+def search_space_percentiles(
+    records: Sequence[RunRecord], percentiles: Sequence[int] = DEFAULT_PERCENTILES
+) -> Dict[int, Optional[float]]:
+    """Table 4: fraction of the candidate budget needed per task percentile."""
+    return percentile_curve(records, lambda r: r.search_space_fraction, percentiles)
+
+
+def time_percentiles(
+    records: Sequence[RunRecord], percentiles: Sequence[int] = DEFAULT_PERCENTILES
+) -> Dict[int, Optional[float]]:
+    """Table 3: synthesis time (seconds) needed per task percentile."""
+    return percentile_curve(records, lambda r: r.wall_time, percentiles)
+
+
+def summarize_method(records: Sequence[RunRecord], method: str, length: int) -> MethodSummary:
+    """All headline numbers for one (method, length) pair."""
+    subset = filter_records(records, method=method, length=length)
+    found = [r for r in subset if r.found]
+    return MethodSummary(
+        method=method,
+        length=length,
+        n_tasks=len(_by_task(subset)),
+        n_runs=len(subset),
+        synthesis_percentage=synthesis_percentage(subset),
+        mean_candidates_when_found=float(np.mean([r.candidates_used for r in found])) if found else float("nan"),
+        mean_time_when_found=float(np.mean([r.wall_time for r in found])) if found else float("nan"),
+        search_space_curve=search_space_percentiles(subset),
+        time_curve=time_percentiles(subset),
+    )
+
+
+# ---------------------------------------------------------------------------
+# breakdowns for Figures 5 and 6
+# ---------------------------------------------------------------------------
+
+
+def singleton_vs_list_breakdown(records: Sequence[RunRecord]) -> Dict[str, float]:
+    """Average synthesis rate for singleton-output vs list-output tasks (Fig. 5)."""
+    singleton = [r for r in records if r.is_singleton]
+    lists = [r for r in records if not r.is_singleton]
+    return {
+        "singleton": float(np.mean([r.found for r in singleton])) if singleton else float("nan"),
+        "list": float(np.mean([r.found for r in lists])) if lists else float("nan"),
+    }
+
+
+def per_function_synthesis_rate(records: Sequence[RunRecord], n_functions: int = 41) -> np.ndarray:
+    """Average synthesis rate of tasks containing each DSL function (Fig. 6).
+
+    Entry ``k`` (0-based) is the mean success rate over all runs whose
+    target program contains function ``k+1``; NaN when no task uses it.
+    """
+    sums = np.zeros(n_functions)
+    counts = np.zeros(n_functions)
+    for record in records:
+        for fid in set(record.target_function_ids):
+            index = fid - 1
+            if 0 <= index < n_functions:
+                sums[index] += 1.0 if record.found else 0.0
+                counts[index] += 1.0
+    with np.errstate(invalid="ignore"):
+        rates = np.where(counts > 0, sums / np.maximum(counts, 1.0), np.nan)
+    return rates

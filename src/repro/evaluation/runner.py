@@ -1,0 +1,239 @@
+"""Experiment runners: the full method comparison and the Table-2 ablation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import SynthesizerContext
+from repro.baselines.ga_adapters import make_netsyn_synthesizer
+from repro.baselines.registry import build_context, build_synthesizer
+from repro.config import ExperimentConfig, NetSynConfig
+from repro.core.phase1 import train_fp_model, train_trace_model
+from repro.data.tasks import BenchmarkSuite, make_benchmark_suite
+from repro.evaluation.metrics import (
+    MethodSummary,
+    RunRecord,
+    filter_records,
+    search_space_percentiles,
+    summarize_method,
+    synthesis_percentage,
+    time_percentiles,
+)
+from repro.ga.budget import SearchBudget
+from repro.utils.logging import get_logger
+from repro.utils.serialization import save_json
+
+logger = get_logger("evaluation.runner")
+
+
+@dataclass
+class EvaluationReport:
+    """All run records of one experiment plus convenient aggregations."""
+
+    experiment: ExperimentConfig
+    records: List[RunRecord] = field(default_factory=list)
+
+    @property
+    def methods(self) -> List[str]:
+        return sorted({r.method for r in self.records})
+
+    @property
+    def lengths(self) -> List[int]:
+        return sorted({r.length for r in self.records})
+
+    def records_for(self, method: Optional[str] = None, length: Optional[int] = None) -> List[RunRecord]:
+        return filter_records(self.records, method=method, length=length)
+
+    def summary(self, method: str, length: int) -> MethodSummary:
+        return summarize_method(self.records, method, length)
+
+    def summaries(self) -> List[MethodSummary]:
+        return [self.summary(m, l) for l in self.lengths for m in self.methods]
+
+    def save(self, path) -> None:
+        """Persist every record as JSON (for later re-analysis)."""
+        save_json(path, {"experiment": vars(self.experiment), "records": [r.to_dict() for r in self.records]})
+
+
+class EvaluationRunner:
+    """Runs a set of methods over benchmark suites (Figures 4-6, Tables 3-4)."""
+
+    def __init__(
+        self,
+        experiment: Optional[ExperimentConfig] = None,
+        base_config: Optional[NetSynConfig] = None,
+        context: Optional[SynthesizerContext] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.experiment = (experiment or ExperimentConfig()).scaled()
+        self.experiment.validate()
+        self.base_config = base_config or NetSynConfig.small()
+        self.base_config.validate()
+        self.verbose = verbose
+        self._context = context
+
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> SynthesizerContext:
+        """The shared trained-model context (built lazily, exactly once)."""
+        if self._context is None:
+            logger.info("building context for methods %s", self.experiment.methods)
+            self._context = build_context(
+                self.base_config, methods=self.experiment.methods, verbose=self.verbose
+            )
+        return self._context
+
+    def build_suite(self, length: int) -> BenchmarkSuite:
+        """The benchmark suite used for one program length."""
+        return make_benchmark_suite(
+            length=length,
+            n_programs=self.experiment.n_test_programs,
+            seed=self.experiment.seed,
+            dsl_config=self.base_config.dsl,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> EvaluationReport:
+        """Execute every (method, length, task, run) combination."""
+        report = EvaluationReport(experiment=self.experiment)
+        for length in self.experiment.lengths:
+            suite = self.build_suite(length)
+            for method in self.experiment.methods:
+                synthesizer = build_synthesizer(method, self.context, program_length=length)
+                for task in suite:
+                    for run_index in range(self.experiment.n_runs):
+                        budget = SearchBudget(limit=self.experiment.max_search_space)
+                        seed = self.experiment.seed * 10_007 + run_index
+                        result = synthesizer.synthesize(task, budget=budget, seed=seed)
+                        report.records.append(
+                            RunRecord(
+                                method=method,
+                                length=length,
+                                task_id=task.task_id,
+                                run_index=run_index,
+                                result=result,
+                                is_singleton=task.is_singleton,
+                                target_function_ids=tuple(task.target.function_ids),
+                            )
+                        )
+                    if self.verbose:  # pragma: no cover - logging only
+                        logger.info("%s len=%d task=%s done", method, length, task.task_id)
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Table 2: ablation of NS and FP-guided mutation on GA + fCF
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AblationRow:
+    """One row of Table 2."""
+
+    approach: str
+    programs_synthesized: int
+    n_tasks: int
+    average_generations: float
+    average_synthesis_rate: float
+
+    def to_dict(self) -> dict:
+        return {
+            "approach": self.approach,
+            "programs_synthesized": self.programs_synthesized,
+            "n_tasks": self.n_tasks,
+            "average_generations": self.average_generations,
+            "average_synthesis_rate": self.average_synthesis_rate,
+        }
+
+
+#: the five configurations of Table 2
+ABLATION_VARIANTS = (
+    ("GA+fCF", {"neighborhood": None, "fp_mutation": False}),
+    ("GA+fCF+NS_BFS", {"neighborhood": "bfs", "fp_mutation": False}),
+    ("GA+fCF+NS_DFS", {"neighborhood": "dfs", "fp_mutation": False}),
+    ("GA+fCF+MutationFP", {"neighborhood": None, "fp_mutation": True}),
+    ("GA+fCF+NS_BFS+MutationFP", {"neighborhood": "bfs", "fp_mutation": True}),
+)
+
+
+class AblationRunner:
+    """Reproduces Table 2: the contribution of NS and FP-guided mutation."""
+
+    def __init__(
+        self,
+        base_config: Optional[NetSynConfig] = None,
+        length: Optional[int] = None,
+        n_tasks: int = 10,
+        n_runs: int = 2,
+        max_search_space: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.base_config = (base_config or NetSynConfig.small("cf")).replace(fitness_kind="cf")
+        self.length = length or self.base_config.program_length
+        self.n_tasks = n_tasks
+        self.n_runs = n_runs
+        self.max_search_space = max_search_space or self.base_config.max_search_space
+        self.seed = seed
+
+    def _variant_config(self, options: Dict) -> NetSynConfig:
+        config = self.base_config.replace(
+            program_length=self.length,
+            fp_guided_mutation=bool(options["fp_mutation"]),
+            max_search_space=self.max_search_space,
+        )
+        if options["neighborhood"] is None:
+            config.neighborhood.enabled = False
+        else:
+            config.neighborhood.enabled = True
+            config.neighborhood.strategy = options["neighborhood"]
+        return config
+
+    def run(self, variants=ABLATION_VARIANTS) -> List[AblationRow]:
+        """Run every Table-2 variant over the same task suite and Phase-1 models."""
+        # train shared models once
+        trace = train_trace_model(
+            kind="cf",
+            training=self.base_config.training,
+            nn=self.base_config.nn,
+            dsl=self.base_config.dsl,
+        )
+        fp = train_fp_model(
+            training=self.base_config.training, nn=self.base_config.nn, dsl=self.base_config.dsl
+        )
+        suite = make_benchmark_suite(
+            length=self.length, n_programs=self.n_tasks, seed=self.seed, dsl_config=self.base_config.dsl
+        )
+
+        rows: List[AblationRow] = []
+        for name, options in variants:
+            config = self._variant_config(options)
+            synthesizer = make_netsyn_synthesizer(
+                "cf", config, trace_artifacts=trace, fp_artifacts=fp
+            )
+            found_per_task: List[float] = []
+            generations: List[float] = []
+            synthesized = 0
+            for task in suite:
+                successes = 0
+                for run_index in range(self.n_runs):
+                    budget = SearchBudget(limit=self.max_search_space)
+                    result = synthesizer.synthesize(task, budget=budget, seed=self.seed + run_index)
+                    successes += int(result.found)
+                    generations.append(result.generations)
+                rate = successes / self.n_runs
+                found_per_task.append(rate)
+                if rate >= 0.5:
+                    synthesized += 1
+            rows.append(
+                AblationRow(
+                    approach=name,
+                    programs_synthesized=synthesized,
+                    n_tasks=len(suite),
+                    average_generations=float(np.mean(generations)) if generations else 0.0,
+                    average_synthesis_rate=float(np.mean(found_per_task) * 100.0),
+                )
+            )
+        return rows

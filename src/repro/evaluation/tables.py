@@ -1,0 +1,90 @@
+"""Plain-text table formatting in the style of the paper's Tables 2-4."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.metrics import (
+    DEFAULT_PERCENTILES,
+    MethodSummary,
+    RunRecord,
+    filter_records,
+    search_space_percentiles,
+    synthesis_percentage,
+    time_percentiles,
+)
+from repro.utils.timing import format_seconds
+
+
+def _format_cell(value: Optional[float], as_time: bool) -> str:
+    if value is None:
+        return "-"
+    if as_time:
+        return format_seconds(value)
+    return f"{value * 100:.0f}%" if value >= 0.005 else "<1%"
+
+
+def format_percentile_table(
+    records: Sequence[RunRecord],
+    methods: Sequence[str],
+    lengths: Sequence[int],
+    metric: str = "search_space",
+    percentiles: Sequence[int] = DEFAULT_PERCENTILES,
+) -> str:
+    """Render Table 3 (``metric="time"``) or Table 4 (``metric="search_space"``).
+
+    One block per program length, one row per method, one column per
+    percentile of test programs synthesized; dashes mark percentiles the
+    method never reached — the same layout as the paper.
+    """
+    if metric not in ("search_space", "time"):
+        raise ValueError("metric must be 'search_space' or 'time'")
+    as_time = metric == "time"
+    header = ["LENGTH", "METHOD", "SYNTH%"] + [f"{p}%" for p in percentiles]
+    widths = [6, 14, 7] + [8] * len(percentiles)
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for length in lengths:
+        for method in methods:
+            subset = filter_records(records, method=method, length=length)
+            if not subset:
+                continue
+            if as_time:
+                curve = time_percentiles(subset, percentiles)
+            else:
+                curve = search_space_percentiles(subset, percentiles)
+            cells = [
+                str(length).ljust(widths[0]),
+                method.ljust(widths[1]),
+                f"{synthesis_percentage(subset) * 100:.0f}%".ljust(widths[2]),
+            ]
+            cells += [_format_cell(curve[p], as_time).ljust(8) for p in percentiles]
+            lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_ablation_table(rows) -> str:
+    """Render Table 2 from :class:`~repro.evaluation.runner.AblationRow` rows."""
+    header = f"{'APPROACH':28s}  {'SYNTHESIZED':>12s}  {'AVG GEN':>9s}  {'AVG SYN RATE':>13s}"
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row.approach:28s}  {row.programs_synthesized:>3d}/{row.n_tasks:<8d}  "
+            f"{row.average_generations:>9.1f}  {row.average_synthesis_rate:>12.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_summary_table(summaries: Sequence[MethodSummary]) -> str:
+    """Compact per-method summary (used by examples and benchmark output)."""
+    header = (
+        f"{'LENGTH':>6s}  {'METHOD':14s}  {'SYNTH%':>7s}  {'MEAN CANDIDATES':>16s}  {'MEAN TIME':>10s}"
+    )
+    lines = [header]
+    for s in summaries:
+        candidates = "-" if s.mean_candidates_when_found != s.mean_candidates_when_found else f"{s.mean_candidates_when_found:.0f}"
+        mean_time = "-" if s.mean_time_when_found != s.mean_time_when_found else f"{s.mean_time_when_found:.2f}s"
+        lines.append(
+            f"{s.length:>6d}  {s.method:14s}  {s.synthesis_percentage * 100:>6.0f}%  "
+            f"{candidates:>16s}  {mean_time:>10s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Fitness functions: ideal metrics and their learned neural surrogates.
+
+The paper's central idea is to *learn* the GA's fitness function.  This
+package contains:
+
+* :mod:`repro.fitness.ideal` — the ideal (oracle-side) metrics: common
+  functions (CF), longest common subsequence (LCS), the function
+  membership vector behind the function-probability (FP) map, and output
+  edit distance.
+* :mod:`repro.fitness.features` — encoding of (IO examples, candidate
+  program, execution traces) into padded token arrays for the models.
+* :mod:`repro.fitness.models` — the neural models: the trace-based
+  CF/LCS classifier of Figure 2 and the IO-only function-probability
+  model.
+* :mod:`repro.fitness.datasets` — array-backed datasets feeding the
+  trainer.
+* :mod:`repro.fitness.functions` — the :class:`FitnessFunction` objects
+  the GA consumes: learned CF/LCS (NN-FF), learned FP, output edit
+  distance, and the oracle.
+* :mod:`repro.fitness.ablations` — the alternative models discussed in
+  Section 5.3.1 (regression head, two-tier, pairwise ranking, bigram).
+"""
+
+from repro.fitness.base import FitnessFunction, ScoredProgram
+from repro.fitness.ideal import (
+    common_functions,
+    lcs_length,
+    function_membership,
+    levenshtein,
+    output_edit_distance,
+    ideal_fitness,
+)
+from repro.fitness.features import (
+    FitnessSample,
+    FeatureEncoder,
+    VALUE_PAD,
+    value_to_token,
+    value_vocabulary_size,
+)
+from repro.fitness.models import TraceFitnessModel, FunctionProbabilityModel
+from repro.fitness.datasets import TraceFitnessDataset, FunctionProbabilityDataset
+from repro.fitness.functions import (
+    EditDistanceFitness,
+    LearnedTraceFitness,
+    ProbabilityMapFitness,
+    OracleFitness,
+)
+
+__all__ = [
+    "FitnessFunction",
+    "ScoredProgram",
+    "common_functions",
+    "lcs_length",
+    "function_membership",
+    "levenshtein",
+    "output_edit_distance",
+    "ideal_fitness",
+    "FitnessSample",
+    "FeatureEncoder",
+    "VALUE_PAD",
+    "value_to_token",
+    "value_vocabulary_size",
+    "TraceFitnessModel",
+    "FunctionProbabilityModel",
+    "TraceFitnessDataset",
+    "FunctionProbabilityDataset",
+    "EditDistanceFitness",
+    "LearnedTraceFitness",
+    "ProbabilityMapFitness",
+    "OracleFitness",
+]

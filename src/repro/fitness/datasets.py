@@ -1,0 +1,87 @@
+"""Array-backed datasets feeding the neural fitness models."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dsl.equivalence import IOSet
+from repro.fitness.features import FeatureEncoder, FitnessSample
+
+
+class TraceFitnessDataset:
+    """Dataset of :class:`FitnessSample` for the CF/LCS trace model."""
+
+    def __init__(self, samples: Sequence[FitnessSample], encoder: Optional[FeatureEncoder] = None) -> None:
+        self.samples: List[FitnessSample] = list(samples)
+        self.encoder = encoder or FeatureEncoder()
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def get_batch(self, indices: np.ndarray) -> Dict[str, np.ndarray]:
+        batch = [self.samples[int(i)] for i in indices]
+        return self.encoder.encode_trace_batch(batch)
+
+    # ------------------------------------------------------------------
+    def label_distribution(self) -> Dict[int, int]:
+        """Histogram of the ideal fitness labels (for balance checks)."""
+        histogram: Dict[int, int] = {}
+        for sample in self.samples:
+            if sample.label is None:
+                continue
+            histogram[sample.label] = histogram.get(sample.label, 0) + 1
+        return histogram
+
+    def split(self, validation_fraction: float, rng: np.random.Generator) -> Tuple["TraceFitnessDataset", "TraceFitnessDataset"]:
+        """Random train/validation split."""
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        order = np.arange(len(self.samples))
+        rng.shuffle(order)
+        n_val = int(round(len(order) * validation_fraction))
+        val_idx, train_idx = order[:n_val], order[n_val:]
+        train = TraceFitnessDataset([self.samples[i] for i in train_idx], self.encoder)
+        val = TraceFitnessDataset([self.samples[i] for i in val_idx], self.encoder)
+        return train, val
+
+
+class FunctionProbabilityDataset:
+    """Dataset of (IO set, membership vector) pairs for the FP model."""
+
+    def __init__(
+        self,
+        io_sets: Sequence[IOSet],
+        fp_targets: Sequence[Sequence[float]],
+        encoder: Optional[FeatureEncoder] = None,
+    ) -> None:
+        if len(io_sets) != len(fp_targets):
+            raise ValueError("io_sets and fp_targets must have the same length")
+        self.io_sets: List[IOSet] = list(io_sets)
+        self.fp_targets = np.asarray(fp_targets, dtype=np.float64)
+        self.encoder = encoder or FeatureEncoder()
+
+    def __len__(self) -> int:
+        return len(self.io_sets)
+
+    def get_batch(self, indices: np.ndarray) -> Dict[str, np.ndarray]:
+        io_sets = [self.io_sets[int(i)] for i in indices]
+        targets = self.fp_targets[np.asarray(indices, dtype=np.int64)]
+        return self.encoder.encode_io_batch(io_sets, fp_targets=targets)
+
+    def split(self, validation_fraction: float, rng: np.random.Generator) -> Tuple["FunctionProbabilityDataset", "FunctionProbabilityDataset"]:
+        """Random train/validation split."""
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        order = np.arange(len(self.io_sets))
+        rng.shuffle(order)
+        n_val = int(round(len(order) * validation_fraction))
+        val_idx, train_idx = order[:n_val], order[n_val:]
+        train = FunctionProbabilityDataset(
+            [self.io_sets[i] for i in train_idx], self.fp_targets[train_idx], self.encoder
+        )
+        val = FunctionProbabilityDataset(
+            [self.io_sets[i] for i in val_idx], self.fp_targets[val_idx], self.encoder
+        )
+        return train, val

@@ -1,0 +1,250 @@
+"""Feature encoding for the neural fitness models.
+
+The NN-FF (Figure 2) consumes, per IO example, the input list, the output
+list, and the candidate program's execution trace (one function id and one
+intermediate value per step).  This module turns those structures into
+padded integer token arrays that the encoders in :mod:`repro.nn.encoders`
+can embed.
+
+Token scheme
+------------
+DSL integers are saturated to ``[INT_MIN, INT_MAX]`` so every runtime value
+maps to a token ``value - INT_MIN + 1``; token 0 is padding.  Function ids
+use their own dense 0-based index space (plus a padding slot) for the
+function embedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dsl.equivalence import IOExample, IOSet
+from repro.dsl.functions import FunctionRegistry, REGISTRY
+from repro.dsl.interpreter import ExecutionTrace
+from repro.dsl.program import Program
+from repro.dsl.types import DSLType, INT_MAX, INT_MIN, Value, clamp_int, type_of
+
+#: padding token for value sequences
+VALUE_PAD = 0
+
+
+def value_vocabulary_size() -> int:
+    """Number of distinct value tokens (all saturated ints plus padding)."""
+    return (INT_MAX - INT_MIN + 1) + 1
+
+
+def value_to_token(value: int) -> int:
+    """Map a saturated DSL integer to its embedding token (1-based)."""
+    return clamp_int(int(value)) - INT_MIN + 1
+
+
+def flatten_value(value: Value) -> List[int]:
+    """View a DSL value as a flat list of integers (singleton -> length 1)."""
+    if type_of(value) is DSLType.INT:
+        return [int(value)]
+    return [int(v) for v in value]
+
+
+@dataclass(frozen=True)
+class FitnessSample:
+    """One training/inference sample for the trace-based fitness model.
+
+    Attributes
+    ----------
+    function_ids:
+        The candidate program's function ids (gene), in execution order.
+    io_inputs:
+        Per IO example, the tuple of program inputs of the *target*'s
+        specification.
+    io_outputs:
+        Per IO example, the target output.
+    traces:
+        Per IO example, the candidate's intermediate outputs ``t_1..t_L``
+        (one value per program step) obtained by running the candidate on
+        that example's input.
+    label:
+        Optional ideal fitness value (CF or LCS) used for training.
+    fp_target:
+        Optional function-membership vector used to train the FP model.
+    """
+
+    function_ids: Tuple[int, ...]
+    io_inputs: Tuple[Tuple[Value, ...], ...]
+    io_outputs: Tuple[Value, ...]
+    traces: Tuple[Tuple[Value, ...], ...]
+    label: Optional[int] = None
+    fp_target: Optional[Tuple[float, ...]] = None
+
+    @property
+    def n_examples(self) -> int:
+        return len(self.io_inputs)
+
+    @property
+    def program_length(self) -> int:
+        return len(self.function_ids)
+
+
+def sample_from_execution(
+    candidate: Program,
+    io_set: IOSet,
+    traces: Sequence[ExecutionTrace],
+    label: Optional[int] = None,
+    fp_target: Optional[np.ndarray] = None,
+) -> FitnessSample:
+    """Build a :class:`FitnessSample` from a candidate, a spec and its traces."""
+    if len(traces) != len(io_set):
+        raise ValueError("one trace per IO example is required")
+    return FitnessSample(
+        function_ids=tuple(candidate.function_ids),
+        io_inputs=tuple(tuple(example.inputs) for example in io_set),
+        io_outputs=tuple(example.output for example in io_set),
+        traces=tuple(tuple(trace.intermediate_outputs) for trace in traces),
+        label=None if label is None else int(label),
+        fp_target=None if fp_target is None else tuple(float(x) for x in fp_target),
+    )
+
+
+@dataclass
+class FeatureEncoder:
+    """Encodes batches of :class:`FitnessSample` into padded arrays.
+
+    Parameters
+    ----------
+    max_value_length:
+        Lists longer than this are truncated (keeping the head) before
+        being embedded.
+    registry:
+        DSL function registry; determines the function-index space.
+    """
+
+    max_value_length: int = 16
+    registry: FunctionRegistry = field(default_factory=lambda: REGISTRY)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_functions(self) -> int:
+        return len(self.registry)
+
+    def encode_value(self, value: Value) -> List[int]:
+        """Token sequence for a single DSL value (truncated, never padded)."""
+        flat = flatten_value(value)[: self.max_value_length]
+        return [value_to_token(v) for v in flat]
+
+    def _pack_values(self, values: Sequence[Value]) -> Tuple[np.ndarray, np.ndarray]:
+        """Pad a list of DSL values into (tokens, mask) arrays."""
+        sequences = [self.encode_value(v) for v in values]
+        width = max(1, max((len(s) for s in sequences), default=1))
+        tokens = np.full((len(sequences), width), VALUE_PAD, dtype=np.int64)
+        mask = np.zeros((len(sequences), width), dtype=np.float64)
+        for row, seq in enumerate(sequences):
+            if seq:
+                tokens[row, : len(seq)] = seq
+                mask[row, : len(seq)] = 1.0
+        return tokens, mask
+
+    # ------------------------------------------------------------------
+    def encode_trace_batch(self, samples: Sequence[FitnessSample]) -> Dict[str, np.ndarray]:
+        """Encode samples for the trace-based (CF/LCS) model.
+
+        All samples in a batch must have the same number of IO examples;
+        program lengths may differ (shorter programs are padded and
+        masked).  Returns a dict of arrays:
+
+        ``input_tokens/input_mask``  — ``(B*m, T_in)``
+        ``output_tokens/output_mask`` — ``(B*m, T_out)``
+        ``step_functions``            — ``(B*m, L)`` 0-based function indices
+        ``step_mask``                 — ``(B*m, L)``
+        ``step_value_tokens/mask``    — ``(B*m*L, T_val)``
+        ``labels``                    — ``(B,)`` when every sample has one
+        ``shape``                     — ``(B, m, L)`` bookkeeping triple
+        """
+        if not samples:
+            raise ValueError("cannot encode an empty batch")
+        m = samples[0].n_examples
+        if any(s.n_examples != m for s in samples):
+            raise ValueError("all samples in a batch must have the same number of IO examples")
+        batch = len(samples)
+        max_len = max(s.program_length for s in samples)
+
+        # flatten (sample, example) pairs
+        flat_inputs: List[Value] = []
+        flat_outputs: List[Value] = []
+        step_functions = np.zeros((batch * m, max_len), dtype=np.int64)
+        step_mask = np.zeros((batch * m, max_len), dtype=np.float64)
+        flat_step_values: List[Value] = []
+
+        for b, sample in enumerate(samples):
+            for e in range(m):
+                row = b * m + e
+                # inputs: a program may take several inputs; concatenate them
+                # into one token sequence (they are separated by truncation
+                # boundaries only, which is sufficient for the encoder).
+                combined_input: List[int] = []
+                for value in sample.io_inputs[e]:
+                    combined_input.extend(flatten_value(value))
+                flat_inputs.append(combined_input)
+                flat_outputs.append(sample.io_outputs[e])
+
+                trace = sample.traces[e]
+                for k in range(max_len):
+                    if k < sample.program_length:
+                        step_functions[row, k] = self.registry.index_of(sample.function_ids[k])
+                        step_mask[row, k] = 1.0
+                        flat_step_values.append(trace[k] if k < len(trace) else [])
+                    else:
+                        flat_step_values.append([])
+
+        input_tokens, input_mask = self._pack_values(flat_inputs)
+        output_tokens, output_mask = self._pack_values(flat_outputs)
+        step_value_tokens, step_value_mask = self._pack_values(flat_step_values)
+
+        encoded: Dict[str, np.ndarray] = {
+            "input_tokens": input_tokens,
+            "input_mask": input_mask,
+            "output_tokens": output_tokens,
+            "output_mask": output_mask,
+            "step_functions": step_functions,
+            "step_mask": step_mask,
+            "step_value_tokens": step_value_tokens,
+            "step_value_mask": step_value_mask,
+            "shape": np.array([batch, m, max_len], dtype=np.int64),
+        }
+        if all(s.label is not None for s in samples):
+            encoded["labels"] = np.array([s.label for s in samples], dtype=np.int64)
+        return encoded
+
+    # ------------------------------------------------------------------
+    def encode_io_batch(
+        self, io_sets: Sequence[IOSet], fp_targets: Optional[Sequence[Sequence[float]]] = None
+    ) -> Dict[str, np.ndarray]:
+        """Encode IO specifications only (for the function-probability model)."""
+        if not io_sets:
+            raise ValueError("cannot encode an empty batch")
+        m = len(io_sets[0])
+        if any(len(s) != m for s in io_sets):
+            raise ValueError("all IO sets in a batch must have the same number of examples")
+        batch = len(io_sets)
+        flat_inputs: List[Value] = []
+        flat_outputs: List[Value] = []
+        for io_set in io_sets:
+            for example in io_set:
+                combined_input: List[int] = []
+                for value in example.inputs:
+                    combined_input.extend(flatten_value(value))
+                flat_inputs.append(combined_input)
+                flat_outputs.append(example.output)
+        input_tokens, input_mask = self._pack_values(flat_inputs)
+        output_tokens, output_mask = self._pack_values(flat_outputs)
+        encoded: Dict[str, np.ndarray] = {
+            "input_tokens": input_tokens,
+            "input_mask": input_mask,
+            "output_tokens": output_tokens,
+            "output_mask": output_mask,
+            "shape": np.array([batch, m], dtype=np.int64),
+        }
+        if fp_targets is not None:
+            encoded["fp_targets"] = np.asarray(fp_targets, dtype=np.float64)
+        return encoded

@@ -1,0 +1,173 @@
+"""Concrete fitness functions the genetic algorithm can use.
+
+* :class:`LearnedTraceFitness` — the paper's NN-FF for CF or LCS.
+* :class:`ProbabilityMapFitness` — the FP fitness (and the probability
+  map used to guide mutation).
+* :class:`EditDistanceFitness` — the hand-crafted baseline the paper
+  criticizes (output edit distance).
+* :class:`OracleFitness` — the ideal upper bound that peeks at the target
+  program (row "Oracle" of Tables 3 and 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dsl.equivalence import IOSet
+from repro.dsl.functions import FunctionRegistry, REGISTRY
+from repro.dsl.interpreter import Interpreter
+from repro.dsl.program import Program
+from repro.fitness.base import FitnessFunction
+from repro.fitness.features import FeatureEncoder, FitnessSample, sample_from_execution
+from repro.fitness.ideal import (
+    common_functions,
+    fp_score,
+    ideal_fitness,
+    lcs_length,
+    output_edit_distance,
+)
+from repro.fitness.models import FunctionProbabilityModel, TraceFitnessModel
+
+
+def _io_set_key(io_set: IOSet) -> Tuple:
+    """Hashable key for an IO specification (used for caching)."""
+    return tuple(hash(example) for example in io_set)
+
+
+class LearnedTraceFitness(FitnessFunction):
+    """NN-FF fitness: a trained :class:`TraceFitnessModel` scores candidates.
+
+    The score of a candidate is the model's *expected* class value (a soft
+    version of the predicted CF/LCS), which gives the Roulette Wheel
+    smoother weights than the hard argmax.
+    """
+
+    def __init__(
+        self,
+        model: TraceFitnessModel,
+        kind: str = "cf",
+        encoder: Optional[FeatureEncoder] = None,
+        interpreter: Optional[Interpreter] = None,
+        batch_size: int = 128,
+    ) -> None:
+        if kind not in ("cf", "lcs"):
+            raise ValueError("kind must be 'cf' or 'lcs'")
+        self.model = model
+        self.kind = kind
+        self.encoder = encoder or FeatureEncoder(registry=model.registry)
+        self.interpreter = interpreter or Interpreter()
+        self.batch_size = int(batch_size)
+        self.name = f"nnff_{kind}"
+
+    # ------------------------------------------------------------------
+    def _samples_for(self, programs: Sequence[Program], io_set: IOSet) -> List[FitnessSample]:
+        samples: List[FitnessSample] = []
+        for program in programs:
+            traces = [self.interpreter.run(program, example.inputs) for example in io_set]
+            samples.append(sample_from_execution(program, io_set, traces))
+        return samples
+
+    def score(self, programs: Sequence[Program], io_set: IOSet) -> np.ndarray:
+        if not programs:
+            return np.zeros(0)
+        samples = self._samples_for(programs, io_set)
+        scores = np.zeros(len(samples))
+        for start in range(0, len(samples), self.batch_size):
+            chunk = samples[start : start + self.batch_size]
+            batch = self.encoder.encode_trace_batch(chunk)
+            scores[start : start + len(chunk)] = self.model.predict_fitness(batch)
+        return scores
+
+    def mutation_scores(self, program: Program, io_set: IOSet) -> Optional[np.ndarray]:
+        """Score each position by how much removing confidence it carries.
+
+        The paper selects the mutation point using the learned NN-FF.  We
+        approximate "how wrong is position k" by how much the predicted
+        fitness *improves* when the position is replaced by each candidate
+        being equally likely — cheaply estimated as the drop in predicted
+        fitness attributable to that position via leave-one-out masking is
+        too expensive per generation, so instead we return a uniform prior
+        here and let :class:`ProbabilityMapFitness` provide sharper
+        guidance when FP mutation is enabled.
+        """
+        return None
+
+
+class ProbabilityMapFitness(FitnessFunction):
+    """FP fitness: sum of predicted membership probabilities of a gene's functions."""
+
+    def __init__(
+        self,
+        model: FunctionProbabilityModel,
+        encoder: Optional[FeatureEncoder] = None,
+        registry: FunctionRegistry = REGISTRY,
+    ) -> None:
+        self.model = model
+        self.encoder = encoder or FeatureEncoder(registry=registry)
+        self.registry = registry
+        self.name = "nnff_fp"
+        self._cache: Dict[Tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def probability_map(self, io_set: IOSet) -> np.ndarray:
+        """The predicted probability map for a specification (cached)."""
+        key = _io_set_key(io_set)
+        if key not in self._cache:
+            batch = self.encoder.encode_io_batch([io_set])
+            self._cache[key] = self.model.predict_probability_map(batch)[0]
+        return self._cache[key]
+
+    def score(self, programs: Sequence[Program], io_set: IOSet) -> np.ndarray:
+        if not programs:
+            return np.zeros(0)
+        prob_map = self.probability_map(io_set)
+        return np.array([fp_score(p, prob_map, self.registry) for p in programs])
+
+
+class EditDistanceFitness(FitnessFunction):
+    """Hand-crafted baseline: similarity of candidate outputs to target outputs.
+
+    The fitness is ``Σ_j 1 / (1 + edit_distance(Pζ(I_j), O_j))`` so that a
+    perfect candidate scores ``m`` and scores decrease smoothly with the
+    output mismatch — the standard fitness the paper argues is misleading.
+    """
+
+    def __init__(self, interpreter: Optional[Interpreter] = None) -> None:
+        self.interpreter = interpreter or Interpreter(trace=False)
+        self.name = "edit"
+
+    def score(self, programs: Sequence[Program], io_set: IOSet) -> np.ndarray:
+        scores = np.zeros(len(programs))
+        for index, program in enumerate(programs):
+            total = 0.0
+            for example in io_set:
+                output = self.interpreter.output_of(program, example.inputs)
+                total += 1.0 / (1.0 + output_edit_distance(output, example.output))
+            scores[index] = total
+        return scores
+
+
+class OracleFitness(FitnessFunction):
+    """Ideal fitness that compares candidates directly against the target program.
+
+    Impossible in practice (the target is unknown); used as the upper
+    bound ``Oracle_{LCS|CF}`` in the paper's Tables 3 and 4.
+    """
+
+    def __init__(self, target: Program, kind: str = "lcs") -> None:
+        if kind not in ("cf", "lcs"):
+            raise ValueError("kind must be 'cf' or 'lcs'")
+        self.target = target
+        self.kind = kind
+        self.name = f"oracle_{kind}"
+
+    def score(self, programs: Sequence[Program], io_set: IOSet) -> np.ndarray:
+        return np.array([ideal_fitness(self.kind, program, self.target) for program in programs])
+
+    def probability_map(self, io_set: IOSet) -> np.ndarray:
+        """The exact membership vector of the target (a perfect FP map)."""
+        from repro.fitness.ideal import function_membership
+
+        return function_membership(self.target, self.target.registry)

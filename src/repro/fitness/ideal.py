@@ -1,0 +1,103 @@
+"""Ideal fitness metrics between a candidate and the target program.
+
+These are the quantities the neural fitness functions are trained to
+predict (Section 4.2.1): common functions (CF), longest common
+subsequence (LCS) and function membership (the label of the
+function-probability model), plus the output edit distance used by the
+hand-crafted baseline fitness.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.dsl.functions import FunctionRegistry, REGISTRY
+from repro.dsl.program import Program
+from repro.dsl.types import Value, type_of, DSLType
+
+
+def common_functions(candidate: Program, target: Program) -> int:
+    """Number of common functions ``|elems(Pζ) ∩ elems(Pt)|`` (multiset).
+
+    For the paper's worked example (candidate shares FILTER, MAP and
+    REVERSE with the target) this is 3.
+    """
+    counter_candidate = Counter(candidate.function_ids)
+    counter_target = Counter(target.function_ids)
+    overlap = counter_candidate & counter_target
+    return int(sum(overlap.values()))
+
+
+def lcs_length(candidate: Program, target: Program) -> int:
+    """Length of the longest common subsequence of the two function sequences."""
+    a, b = candidate.function_ids, target.function_ids
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for x in a:
+        current = [0] * (len(b) + 1)
+        for j, y in enumerate(b, start=1):
+            if x == y:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous = current
+    return int(previous[-1])
+
+
+def function_membership(target: Program, registry: FunctionRegistry = REGISTRY) -> np.ndarray:
+    """Binary vector over ``ΣDSL`` marking which functions appear in ``target``.
+
+    This is the training label of the function-probability model: the
+    model's prediction approximates ``Prob(op_k ∈ elems(Pt) | S_t)``.
+    """
+    membership = np.zeros(len(registry), dtype=np.float64)
+    for fid in target.function_ids:
+        membership[registry.index_of(fid)] = 1.0
+    return membership
+
+
+def fp_score(candidate: Program, probability_map: np.ndarray, registry: FunctionRegistry = REGISTRY) -> float:
+    """The FP fitness ``Σ_{k: op_k ∈ elems(Pζ)} p_k`` for a probability map."""
+    indices = {registry.index_of(fid) for fid in candidate.function_ids}
+    return float(sum(probability_map[i] for i in indices))
+
+
+def levenshtein(a: Sequence[int], b: Sequence[int]) -> int:
+    """Classic edit distance between two integer sequences."""
+    if len(a) == 0:
+        return len(b)
+    if len(b) == 0:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, x in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, y in enumerate(b, start=1):
+            cost = 0 if x == y else 1
+            current[j] = min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+        previous = current
+    return int(previous[-1])
+
+
+def _as_sequence(value: Value) -> List[int]:
+    """View a DSL value as an integer sequence for edit-distance purposes."""
+    if type_of(value) is DSLType.INT:
+        return [int(value)]
+    return [int(v) for v in value]
+
+
+def output_edit_distance(candidate_output: Value, target_output: Value) -> int:
+    """Edit distance between two program outputs (singletons viewed as length-1 lists)."""
+    return levenshtein(_as_sequence(candidate_output), _as_sequence(target_output))
+
+
+def ideal_fitness(kind: str, candidate: Program, target: Program) -> float:
+    """Dispatch to the ideal metric named by ``kind`` ("cf" or "lcs")."""
+    if kind == "cf":
+        return float(common_functions(candidate, target))
+    if kind == "lcs":
+        return float(lcs_length(candidate, target))
+    raise ValueError(f"unknown ideal fitness kind {kind!r}")

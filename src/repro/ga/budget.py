@@ -1,0 +1,78 @@
+"""Search-space accounting: the paper's implementation-independent metric.
+
+Every synthesizer in this repository (NetSyn and all baselines) charges a
+:class:`SearchBudget` once per *candidate program examined*.  When the
+budget is exhausted the synthesizer stops and the run is reported as
+"solution not found", exactly as in Section 5 ("maximum search space size
+of 3,000,000 candidate programs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class BudgetExhausted(Exception):
+    """Raised internally when the candidate-program budget runs out."""
+
+
+@dataclass
+class SearchBudget:
+    """Counts candidate programs examined against a hard limit.
+
+    Attributes
+    ----------
+    limit:
+        Maximum number of candidates that may be examined.
+    used:
+        Number of candidates charged so far.
+    """
+
+    limit: int
+    used: int = 0
+
+    def __post_init__(self) -> None:
+        if self.limit <= 0:
+            raise ValueError("budget limit must be positive")
+        if self.used < 0:
+            raise ValueError("used must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        """Candidates still allowed."""
+        return max(0, self.limit - self.used)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no further candidates may be examined."""
+        return self.used >= self.limit
+
+    @property
+    def fraction_used(self) -> float:
+        """Fraction of the budget consumed, in [0, 1]."""
+        return min(1.0, self.used / self.limit)
+
+    # ------------------------------------------------------------------
+    def charge(self, count: int = 1, strict: bool = False) -> int:
+        """Consume ``count`` candidates from the budget.
+
+        Returns the number of candidates actually charged.  With
+        ``strict=True`` a :class:`BudgetExhausted` is raised if fewer than
+        ``count`` candidates remain (nothing is charged in that case).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if strict and count > self.remaining:
+            raise BudgetExhausted(f"requested {count}, remaining {self.remaining}")
+        charged = min(count, self.remaining) if not strict else count
+        self.used += charged
+        return charged
+
+    def reset(self) -> None:
+        """Forget everything charged so far."""
+        self.used = 0
+
+    def copy(self) -> "SearchBudget":
+        """An independent copy with the same limit and usage."""
+        return SearchBudget(limit=self.limit, used=self.used)

@@ -1,0 +1,225 @@
+"""The genetic-algorithm evolution engine (Section 4.2).
+
+One :class:`GeneticAlgorithm` instance runs one synthesis attempt: it
+evolves a population of candidate programs under a fitness function until
+a program equivalent to the target (under the IO examples) is found, the
+candidate budget is exhausted, or the generation limit is reached.
+
+Candidate accounting: every *newly created* gene — the initial random
+population, crossover offspring and mutants — is charged against the
+shared :class:`~repro.ga.budget.SearchBudget` and immediately checked
+against the IO examples, so the reported "search space used" counts
+candidate programs exactly as the paper's metric does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import GAConfig
+from repro.dsl.equivalence import IOSet, satisfies_io_set
+from repro.dsl.interpreter import Interpreter
+from repro.dsl.program import Program
+from repro.fitness.base import FitnessFunction
+from repro.ga.budget import SearchBudget
+from repro.ga.neighborhood import NeighborhoodSearch
+from repro.ga.operators import GeneOperators
+from repro.ga.population import Population
+from repro.ga.selection import roulette_wheel_indices
+from repro.utils.logging import get_logger
+
+logger = get_logger("ga.engine")
+
+
+@dataclass
+class EvolutionResult:
+    """Outcome of one GA synthesis attempt."""
+
+    found: bool
+    program: Optional[Program]
+    generations: int
+    candidates_used: int
+    found_by: str = "none"  # "init", "ga", "ns" or "none"
+    neighborhood_invocations: int = 0
+    average_fitness_history: List[float] = field(default_factory=list)
+    best_fitness_history: List[float] = field(default_factory=list)
+
+
+class GeneticAlgorithm:
+    """Evolves candidate programs under a (possibly learned) fitness function."""
+
+    def __init__(
+        self,
+        fitness: FitnessFunction,
+        operators: GeneOperators,
+        config: Optional[GAConfig] = None,
+        neighborhood: Optional[NeighborhoodSearch] = None,
+        fp_guided_mutation: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        interpreter: Optional[Interpreter] = None,
+    ) -> None:
+        self.fitness = fitness
+        self.operators = operators
+        self.config = config or GAConfig()
+        self.config.validate()
+        self.neighborhood = neighborhood
+        self.fp_guided_mutation = fp_guided_mutation
+        self.rng = rng or np.random.default_rng(0)
+        self.interpreter = interpreter or Interpreter(trace=False)
+
+    # ------------------------------------------------------------------
+    def _is_solution(self, candidate: Program, io_set: IOSet) -> bool:
+        return satisfies_io_set(candidate, io_set, self.interpreter)
+
+    def _charge_and_check(
+        self, candidate: Program, io_set: IOSet, budget: SearchBudget
+    ) -> Optional[bool]:
+        """Charge one candidate; returns True if it solves the task, None if
+        the budget was already exhausted."""
+        if budget.exhausted:
+            return None
+        budget.charge(1)
+        return self._is_solution(candidate, io_set)
+
+    # ------------------------------------------------------------------
+    def run(self, io_set: IOSet, budget: SearchBudget) -> EvolutionResult:
+        """Run the evolutionary search for a program satisfying ``io_set``."""
+        cfg = self.config
+        avg_history: List[float] = []
+        best_history: List[float] = []
+        ns_cooldown = 0
+
+        # -- initial population ------------------------------------------------
+        members: List[Program] = []
+        for _ in range(cfg.population_size):
+            gene = self.operators.random_gene()
+            members.append(gene)
+            verdict = self._charge_and_check(gene, io_set, budget)
+            if verdict:
+                return EvolutionResult(
+                    found=True,
+                    program=gene,
+                    generations=0,
+                    candidates_used=budget.used,
+                    found_by="init",
+                    average_fitness_history=avg_history,
+                    best_fitness_history=best_history,
+                )
+            if verdict is None:
+                return EvolutionResult(
+                    found=False,
+                    program=None,
+                    generations=0,
+                    candidates_used=budget.used,
+                    average_fitness_history=avg_history,
+                    best_fitness_history=best_history,
+                )
+        population = Population(members)
+
+        probability_map = (
+            self.fitness.probability_map(io_set) if self.fp_guided_mutation else None
+        )
+
+        # -- generations ---------------------------------------------------------
+        for generation in range(1, cfg.max_generations + 1):
+            population.set_scores(self.fitness.score(population.members, io_set))
+            avg_history.append(population.mean_score())
+            best_history.append(population.max_score())
+
+            # neighborhood search on fitness saturation
+            if (
+                self.neighborhood is not None
+                and ns_cooldown <= 0
+                and self.neighborhood.should_trigger(avg_history)
+            ):
+                ns_cooldown = self.neighborhood.config.cooldown
+                top = population.top(self.neighborhood.config.top_n)
+                found = self.neighborhood.search(top, io_set, budget)
+                if found is not None:
+                    return EvolutionResult(
+                        found=True,
+                        program=found,
+                        generations=generation,
+                        candidates_used=budget.used,
+                        found_by="ns",
+                        neighborhood_invocations=self.neighborhood.stats.invocations,
+                        average_fitness_history=avg_history,
+                        best_fitness_history=best_history,
+                    )
+                if budget.exhausted:
+                    break
+            ns_cooldown -= 1
+
+            # -- build the next generation ------------------------------------
+            next_members: List[Program] = population.top(cfg.elite_count)
+            scores = population.scores
+            while len(next_members) < cfg.population_size:
+                draw = self.rng.random()
+                if draw < cfg.crossover_rate:
+                    parents = roulette_wheel_indices(scores, 2, self.rng)
+                    child = self.operators.crossover(
+                        population[int(parents[0])], population[int(parents[1])]
+                    )
+                    is_new = True
+                elif draw < cfg.crossover_rate + cfg.mutation_rate:
+                    parent = int(roulette_wheel_indices(scores, 1, self.rng)[0])
+                    gene = population[parent]
+                    position_scores = self.fitness.mutation_scores(gene, io_set)
+                    child = self.operators.mutate(
+                        gene,
+                        probability_map=probability_map,
+                        position_scores=position_scores,
+                    )
+                    is_new = True
+                else:
+                    parent = int(roulette_wheel_indices(scores, 1, self.rng)[0])
+                    child = population[parent]
+                    is_new = False
+
+                if is_new:
+                    verdict = self._charge_and_check(child, io_set, budget)
+                    if verdict:
+                        return EvolutionResult(
+                            found=True,
+                            program=child,
+                            generations=generation,
+                            candidates_used=budget.used,
+                            found_by="ga",
+                            neighborhood_invocations=(
+                                self.neighborhood.stats.invocations if self.neighborhood else 0
+                            ),
+                            average_fitness_history=avg_history,
+                            best_fitness_history=best_history,
+                        )
+                    if verdict is None:
+                        return EvolutionResult(
+                            found=False,
+                            program=None,
+                            generations=generation,
+                            candidates_used=budget.used,
+                            neighborhood_invocations=(
+                                self.neighborhood.stats.invocations if self.neighborhood else 0
+                            ),
+                            average_fitness_history=avg_history,
+                            best_fitness_history=best_history,
+                        )
+                next_members.append(child)
+
+            population = Population(next_members)
+            if budget.exhausted:
+                break
+
+        return EvolutionResult(
+            found=False,
+            program=None,
+            generations=generation if cfg.max_generations else 0,
+            candidates_used=budget.used,
+            neighborhood_invocations=(
+                self.neighborhood.stats.invocations if self.neighborhood else 0
+            ),
+            average_fitness_history=avg_history,
+            best_fitness_history=best_history,
+        )

@@ -1,0 +1,89 @@
+"""Population container: genes plus their fitness scores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dsl.program import Program
+
+
+@dataclass
+class Population:
+    """A scored population of candidate programs (genes).
+
+    ``scores[i]`` is the fitness of ``members[i]``; scores may be ``None``
+    before the first evaluation.
+    """
+
+    members: List[Program]
+    scores: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("population cannot be empty")
+        if self.scores is not None:
+            self.scores = np.asarray(self.scores, dtype=np.float64)
+            if len(self.scores) != len(self.members):
+                raise ValueError("scores length must match members length")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[Program]:
+        return iter(self.members)
+
+    def __getitem__(self, index: int) -> Program:
+        return self.members[index]
+
+    @property
+    def is_scored(self) -> bool:
+        return self.scores is not None
+
+    def _require_scores(self) -> np.ndarray:
+        if self.scores is None:
+            raise RuntimeError("population has not been scored yet")
+        return self.scores
+
+    # ------------------------------------------------------------------
+    def set_scores(self, scores: Sequence[float]) -> None:
+        """Attach fitness scores (one per member)."""
+        scores = np.asarray(scores, dtype=np.float64)
+        if len(scores) != len(self.members):
+            raise ValueError("scores length must match members length")
+        self.scores = scores
+
+    def best_index(self) -> int:
+        """Index of the highest-scoring member."""
+        return int(np.argmax(self._require_scores()))
+
+    def best(self) -> Program:
+        """The highest-scoring member."""
+        return self.members[self.best_index()]
+
+    def top_indices(self, count: int) -> np.ndarray:
+        """Indices of the ``count`` highest-scoring members, best first."""
+        scores = self._require_scores()
+        count = min(count, len(scores))
+        order = np.argsort(scores)[::-1]
+        return order[:count]
+
+    def top(self, count: int) -> List[Program]:
+        """The ``count`` highest-scoring members, best first."""
+        return [self.members[i] for i in self.top_indices(count)]
+
+    def mean_score(self) -> float:
+        """Average fitness of the population."""
+        return float(self._require_scores().mean())
+
+    def max_score(self) -> float:
+        """Best fitness of the population."""
+        return float(self._require_scores().max())
+
+    def unique_fraction(self) -> float:
+        """Fraction of genetically distinct members (a diversity measure)."""
+        distinct = len({member.function_ids for member in self.members})
+        return distinct / len(self.members)

@@ -1,0 +1,42 @@
+"""Roulette Wheel (fitness proportionate) selection (Goldberg, 1989)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def roulette_wheel_probabilities(scores: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Selection probabilities proportional to (shifted) fitness scores.
+
+    Scores may be negative or all equal; they are shifted so the minimum
+    maps to a small positive baseline, which keeps every gene selectable
+    while still favouring higher fitness.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1 or scores.size == 0:
+        raise ValueError("scores must be a non-empty 1-D array")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    shifted = scores - scores.min()
+    spread = shifted.max()
+    if spread <= 0:
+        return np.full(scores.size, 1.0 / scores.size)
+    # baseline keeps the worst gene at a small but non-zero probability
+    weights = (shifted / spread) ** (1.0 / temperature) + 1e-3
+    return weights / weights.sum()
+
+
+def roulette_wheel_indices(
+    scores: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+    temperature: float = 1.0,
+    replace: bool = True,
+) -> np.ndarray:
+    """Select ``count`` indices with probability proportional to fitness."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    probabilities = roulette_wheel_probabilities(scores, temperature=temperature)
+    return rng.choice(len(probabilities), size=count, replace=replace, p=probabilities)

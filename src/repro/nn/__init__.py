@@ -1,0 +1,66 @@
+"""A from-scratch neural-network substrate built on numpy.
+
+The paper trains its fitness models with TensorFlow; no deep-learning
+framework is available in this offline reproduction, so this package
+provides the minimum substrate the NN-FF architecture (Figure 2) needs:
+
+* :mod:`repro.nn.autograd` — a small reverse-mode automatic
+  differentiation engine over numpy arrays (:class:`Tensor`).
+* :mod:`repro.nn.layers` — Dense, Embedding, Dropout and activations.
+* :mod:`repro.nn.lstm` — an LSTM cell and layer with full backpropagation
+  through time.
+* :mod:`repro.nn.encoders` — sequence encoders (LSTM and mean-pooled)
+  for lists of integers and for step sequences.
+* :mod:`repro.nn.losses` — softmax cross-entropy, sigmoid BCE, MSE.
+* :mod:`repro.nn.optimizers` — SGD (with momentum) and Adam.
+* :mod:`repro.nn.training` — a mini-batch training loop with history.
+* :mod:`repro.nn.gradcheck` — numerical gradient checking used in tests.
+"""
+
+from repro.nn.autograd import Tensor, concat, stack, no_grad
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import Dense, Dropout, Embedding, ReLU, Sigmoid, Tanh
+from repro.nn.lstm import LSTM, LSTMCell
+from repro.nn.encoders import MeanPoolEncoder, LSTMSequenceEncoder, make_sequence_encoder
+from repro.nn.losses import (
+    mse_loss,
+    sigmoid_binary_cross_entropy,
+    softmax_cross_entropy,
+    softmax_probabilities,
+)
+from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.training import TrainingHistory, Trainer, iterate_minibatches
+from repro.nn.gradcheck import numerical_gradient, check_gradients
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "LSTM",
+    "LSTMCell",
+    "MeanPoolEncoder",
+    "LSTMSequenceEncoder",
+    "make_sequence_encoder",
+    "mse_loss",
+    "sigmoid_binary_cross_entropy",
+    "softmax_cross_entropy",
+    "softmax_probabilities",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "TrainingHistory",
+    "Trainer",
+    "iterate_minibatches",
+    "numerical_gradient",
+    "check_gradients",
+]

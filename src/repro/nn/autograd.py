@@ -1,0 +1,384 @@
+"""A minimal reverse-mode automatic differentiation engine over numpy.
+
+Only the operations required by the NN-FF models are implemented:
+element-wise arithmetic with broadcasting, matrix multiplication,
+tanh/sigmoid/relu/exp/log, reductions, reshaping, slicing, concatenation,
+stacking and embedding lookups.  Gradients are accumulated into
+``Tensor.grad`` by calling :meth:`Tensor.backward` on a scalar loss.
+
+The engine favours clarity over speed — models in this reproduction are
+small — but all heavy lifting is vectorized numpy, per the project's
+performance guidelines.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Tensor", "concat", "stack", "embedding_lookup", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """True when operations record the backward graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` back down to ``shape`` (the inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # sum over leading broadcast dimensions
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # sum over axes that were of size 1 in the original shape
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array plus the bookkeeping for reverse-mode differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # make numpy defer to Tensor's operators
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def zeros(cls, shape, requires_grad: bool = False) -> "Tensor":
+        return cls(np.zeros(shape), requires_grad=requires_grad)
+
+    @classmethod
+    def ones(cls, shape, requires_grad: bool = False) -> "Tensor":
+        return cls(np.ones(shape), requires_grad=requires_grad)
+
+    # -- basics -----------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (not a copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # -- graph construction ------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"], backward) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1.0 and must be supplied for non-scalar roots.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+
+        # topological order of the graph rooted at self
+        order: List[Tensor] = []
+        visited = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in visited or not node.requires_grad:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            order.append(node)
+
+        visit(self)
+
+        grads = {id(self): np.asarray(grad, dtype=np.float64)}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._parents == () or node._backward is None:
+                node._accumulate(node_grad)
+                continue
+            node._accumulate(node_grad)
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                pgrad = _unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
+                if id(parent) in grads:
+                    grads[id(parent)] += pgrad
+                else:
+                    grads[id(parent)] = pgrad
+
+    # -- arithmetic ---------------------------------------------------------
+    @staticmethod
+    def _coerce(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad):
+            return grad, grad
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            return (-grad,)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data - other.data
+
+        def backward(grad):
+            return grad, -grad
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+        a, b = self, other
+
+        def backward(grad):
+            return grad * b.data, grad * a.data
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+        a, b = self, other
+
+        def backward(grad):
+            return grad / b.data, -grad * a.data / (b.data**2)
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data @ other.data
+        a, b = self, other
+
+        def backward(grad):
+            grad_a = grad @ b.data.swapaxes(-1, -2)
+            grad_b = a.data.swapaxes(-1, -2) @ grad
+            return grad_a, grad_b
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        data = self.data**exponent
+        a = self
+
+        def backward(grad):
+            return (grad * exponent * a.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward)
+
+    # -- nonlinearities -------------------------------------------------------
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            return (grad * (1.0 - out_data**2),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad):
+            return (grad * out_data * (1.0 - out_data),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad):
+            return (grad * mask,)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(np.clip(self.data, -60.0, 60.0))
+
+        def backward(grad):
+            return (grad * out_data,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def backward(grad):
+            return (grad / a.data,)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    # -- reductions and reshaping ---------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        a = self
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            if axis is None:
+                return (np.broadcast_to(grad, a.data.shape).copy(),)
+            if not keepdims:
+                grad = np.expand_dims(grad, axis)
+            return (np.broadcast_to(grad, a.data.shape).copy(),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        data = self.data.reshape(shape)
+
+        def backward(grad):
+            return (grad.reshape(a.data.shape),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+        data = self.data.transpose(axes)
+
+        def backward(grad):
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        a = self
+        data = self.data[key]
+
+        def backward(grad):
+            full = np.zeros_like(a.data)
+            np.add.at(full, key, grad)
+            return (full,)
+
+        return Tensor._make(data, (self,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(grad):
+        return tuple(np.split(grad, np.cumsum(sizes)[:-1], axis=axis))
+
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        pieces = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    return Tensor._make(data, tensors, backward)
+
+
+def embedding_lookup(weights: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup ``weights[indices]`` with scatter-add backward."""
+    indices = np.asarray(indices, dtype=np.int64)
+    data = weights.data[indices]
+
+    def backward(grad):
+        full = np.zeros_like(weights.data)
+        np.add.at(full, indices.reshape(-1), grad.reshape(-1, weights.data.shape[-1]))
+        return (full,)
+
+    return Tensor._make(data, (weights,), backward)

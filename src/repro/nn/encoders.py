@@ -1,0 +1,93 @@
+"""Sequence encoders used by the neural fitness models.
+
+Both encoders map a padded batch of integer token sequences
+``(batch, time)`` plus a boolean mask to a fixed-size vector per sequence:
+
+* :class:`LSTMSequenceEncoder` — embedding followed by an LSTM, as in the
+  paper's Figure 2.
+* :class:`MeanPoolEncoder` — embedding followed by a masked mean and a
+  dense projection; a much faster drop-in used for quick experiments and
+  as an ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Dense, Embedding
+from repro.nn.lstm import LSTM
+from repro.nn.module import Module
+
+
+class LSTMSequenceEncoder(Module):
+    """Embedding + LSTM encoder producing the final hidden state."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embedding_dim: int,
+        hidden_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embedding = Embedding(vocab_size, embedding_dim, rng=rng)
+        self.lstm = LSTM(embedding_dim, hidden_dim, rng=rng)
+        self.output_dim = hidden_dim
+
+    def forward(self, tokens: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ValueError("tokens must be (batch, time)")
+        embedded = self.embedding(tokens)  # (batch, time, embedding_dim)
+        return self.lstm(embedded, mask=mask)
+
+
+class MeanPoolEncoder(Module):
+    """Embedding + masked mean pooling + dense projection."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embedding_dim: int,
+        hidden_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embedding = Embedding(vocab_size, embedding_dim, rng=rng)
+        self.projection = Dense(embedding_dim, hidden_dim, activation="tanh", rng=rng)
+        self.output_dim = hidden_dim
+
+    def forward(self, tokens: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ValueError("tokens must be (batch, time)")
+        batch, time = tokens.shape
+        embedded = self.embedding(tokens)  # (batch, time, embedding_dim)
+        if mask is None:
+            mask = np.ones((batch, time), dtype=np.float64)
+        else:
+            mask = np.asarray(mask, dtype=np.float64)
+        counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)  # (batch, 1)
+        weights = mask / counts  # per-token averaging weights
+        pooled = (embedded * Tensor(weights[:, :, None])).sum(axis=1)
+        return self.projection(pooled)
+
+
+def make_sequence_encoder(
+    kind: str,
+    vocab_size: int,
+    embedding_dim: int,
+    hidden_dim: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Module:
+    """Factory selecting between the LSTM and pooled encoders."""
+    if kind == "lstm":
+        return LSTMSequenceEncoder(vocab_size, embedding_dim, hidden_dim, rng=rng)
+    if kind == "pooled":
+        return MeanPoolEncoder(vocab_size, embedding_dim, hidden_dim, rng=rng)
+    raise ValueError(f"unknown encoder kind {kind!r}")

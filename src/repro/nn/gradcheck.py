@@ -1,0 +1,63 @@
+"""Numerical gradient checking used to validate the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.module import Parameter
+
+
+def numerical_gradient(
+    loss_fn: Callable[[], Tensor], parameter: Parameter, epsilon: float = 1e-5
+) -> np.ndarray:
+    """Central-difference estimate of ``d loss / d parameter``."""
+    grad = np.zeros_like(parameter.data)
+    flat = parameter.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        loss_plus = loss_fn().item()
+        flat[index] = original - epsilon
+        loss_minus = loss_fn().item()
+        flat[index] = original
+        grad_flat[index] = (loss_plus - loss_minus) / (2 * epsilon)
+    return grad
+
+
+def check_gradients(
+    loss_fn: Callable[[], Tensor],
+    parameters: Sequence[Parameter],
+    epsilon: float = 1e-5,
+    tolerance: float = 1e-4,
+) -> Dict[int, float]:
+    """Compare analytic and numerical gradients for every parameter.
+
+    Returns a mapping from parameter index to the maximum relative error.
+    Raises ``AssertionError`` when any error exceeds ``tolerance``.
+    """
+    # analytic gradients
+    for parameter in parameters:
+        parameter.zero_grad()
+    loss = loss_fn()
+    loss.backward()
+    analytic = [None if p.grad is None else p.grad.copy() for p in parameters]
+
+    errors: Dict[int, float] = {}
+    for index, parameter in enumerate(parameters):
+        numeric = numerical_gradient(loss_fn, parameter, epsilon=epsilon)
+        a = analytic[index] if analytic[index] is not None else np.zeros_like(numeric)
+        denominator = np.maximum(np.abs(a) + np.abs(numeric), 1e-8)
+        relative = np.abs(a - numeric) / denominator
+        # ignore entries where both gradients are essentially zero
+        significant = (np.abs(a) + np.abs(numeric)) > 1e-7
+        error = float(relative[significant].max()) if significant.any() else 0.0
+        errors[index] = error
+        if error > tolerance:
+            raise AssertionError(
+                f"gradient check failed for parameter {index}: max relative error {error:.2e}"
+            )
+    return errors

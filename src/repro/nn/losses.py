@@ -1,0 +1,85 @@
+"""Loss functions: softmax cross-entropy, sigmoid BCE and mean squared error.
+
+All losses take raw logits (no activation applied) and return a scalar
+:class:`~repro.nn.autograd.Tensor` averaged over the batch, so they can be
+passed straight to ``backward()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def softmax_probabilities(logits: Tensor) -> np.ndarray:
+    """Numerically stable softmax of the logits (returns a plain array)."""
+    z = logits.data - logits.data.max(axis=-1, keepdims=True)
+    exp = np.exp(z)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``softmax(logits)`` and integer ``labels``.
+
+    The gradient is implemented analytically (``softmax - one_hot``) rather
+    than through ``exp``/``log`` nodes, which is both faster and more
+    numerically stable.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("logits must be (batch, n_classes)")
+    batch, n_classes = logits.shape
+    if labels.shape != (batch,):
+        raise ValueError(f"labels shape {labels.shape} does not match batch {batch}")
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError("labels out of range")
+
+    probs = softmax_probabilities(logits)
+    nll = -np.log(np.clip(probs[np.arange(batch), labels], 1e-12, None))
+    loss_value = nll.mean()
+
+    def backward(grad):
+        one_hot = np.zeros_like(probs)
+        one_hot[np.arange(batch), labels] = 1.0
+        return ((probs - one_hot) * (grad / batch),)
+
+    return Tensor._make(np.asarray(loss_value), (logits,), backward)
+
+
+def sigmoid_binary_cross_entropy(
+    logits: Tensor, targets: np.ndarray, pos_weight: float = 1.0
+) -> Tensor:
+    """Mean element-wise binary cross-entropy on ``sigmoid(logits)``.
+
+    Used by the function-probability (FP) model, a multi-label classifier
+    over the 41 DSL functions.  ``pos_weight`` scales the loss of positive
+    targets, compensating for the heavy class imbalance (a length-5
+    program contains at most 5 of the 41 functions).
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != logits.shape:
+        raise ValueError(f"targets shape {targets.shape} != logits shape {logits.shape}")
+    if pos_weight <= 0:
+        raise ValueError("pos_weight must be positive")
+    x = logits.data
+    weights = np.where(targets >= 0.5, pos_weight, 1.0)
+    # log(1 + exp(-|x|)) formulation for numerical stability
+    loss_matrix = weights * (np.maximum(x, 0.0) - x * targets + np.log1p(np.exp(-np.abs(x))))
+    loss_value = loss_matrix.mean()
+    count = loss_matrix.size
+
+    def backward(grad):
+        sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return (weights * (sig - targets) * (grad / count),)
+
+    return Tensor._make(np.asarray(loss_value), (logits,), backward)
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error (used by the regression-head ablation)."""
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != predictions.shape:
+        targets = targets.reshape(predictions.shape)
+    diff = predictions - Tensor(targets)
+    return (diff * diff).mean()

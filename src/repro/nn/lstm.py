@@ -1,0 +1,110 @@
+"""LSTM cell and layer with backpropagation through time.
+
+The recurrence is expressed entirely in autograd operations, so gradients
+through arbitrarily long (but finite) sequences come from the engine in
+:mod:`repro.nn.autograd`.  Sequences are processed as padded batches with
+an explicit mask so variable-length inputs (IO lists and execution traces
+have different lengths) are handled correctly: masked timesteps leave the
+hidden and cell states unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, concat
+from repro.nn.layers import _glorot
+from repro.nn.module import Module, Parameter
+
+
+class LSTMCell(Module):
+    """A single LSTM step.
+
+    Gates follow the standard formulation: input ``i``, forget ``f``,
+    candidate ``g`` and output ``o``; the forget-gate bias is initialised
+    to 1 to ease gradient flow early in training.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if input_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("input_dim and hidden_dim must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        gate_dim = 4 * hidden_dim
+        self.weight_x = Parameter(_glorot(rng, input_dim, gate_dim, (input_dim, gate_dim)))
+        self.weight_h = Parameter(_glorot(rng, hidden_dim, gate_dim, (hidden_dim, gate_dim)))
+        bias = np.zeros(gate_dim)
+        bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget gate bias
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        """One step: ``x`` is ``(batch, input_dim)``; returns ``(h, c)``."""
+        h_prev, c_prev = state
+        gates = x @ self.weight_x + h_prev @ self.weight_h + self.bias
+        H = self.hidden_dim
+        i = gates[:, 0:H].sigmoid()
+        f = gates[:, H : 2 * H].sigmoid()
+        g = gates[:, 2 * H : 3 * H].tanh()
+        o = gates[:, 3 * H : 4 * H].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        """Zero hidden and cell states for a batch."""
+        zeros = Tensor(np.zeros((batch_size, self.hidden_dim)))
+        return zeros, Tensor(np.zeros((batch_size, self.hidden_dim)))
+
+
+class LSTM(Module):
+    """An LSTM layer over padded batched sequences.
+
+    ``forward`` consumes ``(batch, time, input_dim)`` inputs with an
+    optional boolean mask ``(batch, time)`` marking real timesteps, and
+    returns the final hidden state ``(batch, hidden_dim)`` (and optionally
+    the full hidden sequence).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, rng=rng)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+
+    def forward(
+        self,
+        inputs: Tensor,
+        mask: Optional[np.ndarray] = None,
+        return_sequence: bool = False,
+    ):
+        if inputs.ndim != 3:
+            raise ValueError(f"expected (batch, time, features), got shape {inputs.shape}")
+        batch, time, _ = inputs.shape
+        if mask is not None:
+            mask = np.asarray(mask, dtype=np.float64)
+            if mask.shape != (batch, time):
+                raise ValueError(f"mask shape {mask.shape} does not match inputs {(batch, time)}")
+
+        h, c = self.cell.initial_state(batch)
+        outputs = []
+        for t in range(time):
+            x_t = inputs[:, t, :]
+            h_new, c_new = self.cell(x_t, (h, c))
+            if mask is not None:
+                m = Tensor(mask[:, t : t + 1])
+                keep = Tensor(1.0 - mask[:, t : t + 1])
+                h = h_new * m + h * keep
+                c = c_new * m + c * keep
+            else:
+                h, c = h_new, c_new
+            if return_sequence:
+                outputs.append(h)
+        if return_sequence:
+            from repro.nn.autograd import stack
+
+            return stack(outputs, axis=1), h
+        return h

@@ -1,0 +1,132 @@
+"""Parameter and Module abstractions on top of the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always requires gradients)."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+        # Parameters must track gradients even when created inside no_grad()
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` discovers them recursively.  A module is
+    callable and delegates to :meth:`forward`.
+    """
+
+    def __init__(self) -> None:
+        self._training = True
+
+    # -- parameter discovery ------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{index}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{index}.")
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters of this module and its children."""
+        return [p for _, p in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def parameter_count(self) -> int:
+        """Total number of scalar weights."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # -- train / eval mode ----------------------------------------------------
+    @property
+    def training(self) -> bool:
+        return self._training
+
+    def train(self) -> "Module":
+        """Put this module (and children) in training mode."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Put this module (and children) in evaluation mode."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self._training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    # -- state (de)serialization ----------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter keyed by its dotted name."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {parameter.data.shape}"
+                )
+            parameter.data = value.copy()
+
+    # -- forward ----------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

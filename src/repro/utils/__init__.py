@@ -1,0 +1,24 @@
+"""Shared utilities: seeded RNG management, timing, serialization, logging."""
+
+from repro.utils.rng import RngFactory, ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, format_seconds
+from repro.utils.serialization import (
+    load_json,
+    save_json,
+    load_npz,
+    save_npz,
+)
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RngFactory",
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "format_seconds",
+    "load_json",
+    "save_json",
+    "load_npz",
+    "save_npz",
+    "get_logger",
+]

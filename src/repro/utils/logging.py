@@ -1,0 +1,24 @@
+"""Logging configuration shared across the library."""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+_CONFIGURED = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a namespaced logger, configuring the root handler once.
+
+    The log level defaults to WARNING and can be raised via the
+    ``NETSYN_LOG_LEVEL`` environment variable (e.g. ``INFO`` or ``DEBUG``).
+    """
+    global _CONFIGURED
+    if not _CONFIGURED:
+        level_name = os.environ.get("NETSYN_LOG_LEVEL", "WARNING").upper()
+        level = getattr(logging, level_name, logging.WARNING)
+        logging.basicConfig(level=level, format=_FORMAT)
+        _CONFIGURED = True
+    return logging.getLogger(f"repro.{name}" if not name.startswith("repro") else name)

@@ -1,0 +1,54 @@
+"""JSON / NPZ persistence helpers for models, datasets and results."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+
+def _to_jsonable(obj: Any) -> Any:
+    """Recursively convert numpy scalars/arrays to plain Python objects."""
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    return obj
+
+
+def save_json(path: PathLike, data: Any, indent: int = 2) -> None:
+    """Write ``data`` to ``path`` as JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(_to_jsonable(data), handle, indent=indent, sort_keys=True)
+
+
+def load_json(path: PathLike) -> Any:
+    """Read JSON previously written by :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_npz(path: PathLike, arrays: Mapping[str, np.ndarray]) -> None:
+    """Save a mapping of named arrays as a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in arrays.items()})
+
+
+def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a ``.npz`` archive back into a dict of arrays."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}

@@ -1,0 +1,51 @@
+"""Small timing helpers used by the evaluation harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """Context-manager stopwatch measuring wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch was not started")
+        self._elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds accumulated so far (including a running interval)."""
+        running = 0.0
+        if self._start is not None:
+            running = time.perf_counter() - self._start
+        return self._elapsed + running
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration the way the paper's Table 3 does (``"<1s"``, ``"65s"``)."""
+    if seconds < 1.0:
+        return "<1s"
+    if seconds < 120.0:
+        return f"{seconds:.0f}s"
+    minutes = seconds / 60.0
+    if minutes < 120.0:
+        return f"{minutes:.1f}m"
+    return f"{minutes / 60.0:.1f}h"

@@ -1,0 +1,123 @@
+"""Shared fixtures: tiny configurations and (session-scoped) trained models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DSLConfig, GAConfig, NeighborhoodConfig, NNConfig, NetSynConfig, TrainingConfig
+from repro.core.phase1 import train_fp_model, train_trace_model
+from repro.data import make_benchmark_suite, make_synthesis_task
+from repro.data.corpus import CorpusBuilder
+from repro.dsl import Interpreter, Program, REGISTRY
+from repro.fitness.datasets import TraceFitnessDataset
+from repro.fitness.features import FeatureEncoder
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return REGISTRY
+
+
+@pytest.fixture
+def interpreter():
+    return Interpreter()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def example_program():
+    """The worked example from Table 1 of the paper."""
+    return Program.from_names(["FILTER(>0)", "MAP(*2)", "SORT", "REVERSE"])
+
+
+@pytest.fixture
+def example_input():
+    return [[-2, 10, 3, -4, 5, 2]]
+
+
+# ---------------------------------------------------------------------------
+# tiny configurations (fast to train / run)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def tiny_training_config():
+    return TrainingConfig(
+        corpus_size=60, program_length=3, n_io_examples=2, epochs=2, batch_size=16, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dsl_config():
+    return DSLConfig(min_input_length=3, max_input_length=5, n_io_examples=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_nn_config():
+    return NNConfig(embedding_dim=4, hidden_dim=8, fc_dim=8, encoder="pooled")
+
+
+@pytest.fixture(scope="session")
+def tiny_netsyn_config(tiny_training_config, tiny_dsl_config, tiny_nn_config):
+    return NetSynConfig(
+        fitness_kind="cf",
+        program_length=3,
+        max_search_space=1500,
+        seed=0,
+        ga=GAConfig(population_size=20, elite_count=2, max_generations=60),
+        neighborhood=NeighborhoodConfig(top_n=2, window=4, cooldown=3),
+        nn=tiny_nn_config,
+        training=tiny_training_config,
+        dsl=tiny_dsl_config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# session-scoped trained artifacts and corpora (shared to keep the suite fast)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus_builder(tiny_training_config, tiny_dsl_config):
+    return CorpusBuilder(training=tiny_training_config, dsl=tiny_dsl_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace_samples(tiny_corpus_builder):
+    return tiny_corpus_builder.build_trace_samples(kind="cf", count=60)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace_dataset(tiny_trace_samples):
+    return TraceFitnessDataset(tiny_trace_samples, FeatureEncoder())
+
+
+@pytest.fixture(scope="session")
+def tiny_trace_artifacts(tiny_training_config, tiny_nn_config, tiny_dsl_config, tiny_trace_samples):
+    return train_trace_model(
+        kind="cf",
+        training=tiny_training_config,
+        nn=tiny_nn_config,
+        dsl=tiny_dsl_config,
+        samples=tiny_trace_samples,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_fp_artifacts(tiny_training_config, tiny_nn_config, tiny_dsl_config):
+    return train_fp_model(training=tiny_training_config, nn=tiny_nn_config, dsl=tiny_dsl_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_task(tiny_dsl_config):
+    return make_synthesis_task(length=3, seed=7, dsl_config=tiny_dsl_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_suite(tiny_dsl_config):
+    return make_benchmark_suite(length=3, n_programs=4, seed=5, dsl_config=tiny_dsl_config)

@@ -1,0 +1,215 @@
+"""Semantics of every DSL function (Appendix A)."""
+
+import pytest
+
+from repro.dsl.functions import REGISTRY, SIGNATURES
+from repro.dsl.types import INT, LIST, INT_MAX, INT_MIN
+
+
+def f(name):
+    return REGISTRY.by_name(name)
+
+
+class TestRegistryStructure:
+    def test_has_41_functions(self):
+        assert len(REGISTRY) == 41
+
+    def test_ids_are_1_to_41(self):
+        assert REGISTRY.ids == tuple(range(1, 42))
+
+    def test_lookup_by_id_and_name_agree(self):
+        for fn in REGISTRY:
+            assert REGISTRY.by_id(fn.fid) is fn
+            assert REGISTRY.by_name(fn.name) is fn
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            REGISTRY.by_id(42)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            REGISTRY.by_name("NOPE")
+
+    def test_only_expected_signatures_occur(self):
+        for fn in REGISTRY:
+            assert fn.signature in SIGNATURES
+
+    def test_signature_family_sizes_match_appendix(self):
+        counts = {}
+        for fn in REGISTRY:
+            counts[fn.signature] = counts.get(fn.signature, 0) + 1
+        assert counts[((LIST,), INT)] == 9
+        assert counts[((LIST,), LIST)] == 21
+        assert counts[((INT, LIST), LIST)] == 4
+        assert counts[((LIST, LIST), LIST)] == 5
+        assert counts[((INT, LIST), INT)] == 2
+
+    def test_singleton_producing_ids(self):
+        ids = REGISTRY.singleton_producing_ids()
+        assert set(ids) == set(range(1, 12))
+
+    def test_index_of_is_dense_zero_based(self):
+        assert [REGISTRY.index_of(fid) for fid in REGISTRY.ids] == list(range(41))
+
+    def test_contains_protocol(self):
+        assert 1 in REGISTRY
+        assert "SORT" in REGISTRY
+        assert REGISTRY.by_id(3) in REGISTRY
+        assert 99 not in REGISTRY
+        assert 3.5 not in REGISTRY
+
+    def test_appendix_numbering_anchors(self):
+        assert REGISTRY.by_id(1).base == "ACCESS"
+        assert REGISTRY.by_id(6).base == "HEAD"
+        assert REGISTRY.by_id(11).base == "SUM"
+        assert REGISTRY.by_id(19).name == "MAP(+1)"
+        assert REGISTRY.by_id(29).base == "REVERSE"
+        assert REGISTRY.by_id(35).base == "SORT"
+        assert REGISTRY.by_id(36).base == "TAKE"
+        assert REGISTRY.by_id(41).name == "ZIPWITH(max)"
+
+
+class TestListToIntFunctions:
+    def test_head(self):
+        assert f("HEAD")([3, 1, 2]) == 3
+        assert f("HEAD")([]) == 0
+
+    def test_last(self):
+        assert f("LAST")([3, 1, 2]) == 2
+        assert f("LAST")([]) == 0
+
+    def test_minimum_maximum(self):
+        assert f("MINIMUM")([3, -1, 2]) == -1
+        assert f("MAXIMUM")([3, -1, 2]) == 3
+        assert f("MINIMUM")([]) == 0
+        assert f("MAXIMUM")([]) == 0
+
+    def test_sum(self):
+        assert f("SUM")([1, 2, 3]) == 6
+        assert f("SUM")([]) == 0
+
+    def test_sum_saturates(self):
+        assert f("SUM")([200, 200]) == INT_MAX
+        assert f("SUM")([-200, -200]) == INT_MIN
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("COUNT(>0)", 3), ("COUNT(<0)", 2), ("COUNT(odd)", 3), ("COUNT(even)", 3)],
+    )
+    def test_count_variants(self, name, expected):
+        data = [1, -2, 3, -4, 5, 0]
+        assert f(name)(data) == expected
+
+
+class TestListToListFunctions:
+    def test_reverse(self):
+        assert f("REVERSE")([1, 2, 3]) == [3, 2, 1]
+        assert f("REVERSE")([]) == []
+
+    def test_sort(self):
+        assert f("SORT")([3, 1, 2]) == [1, 2, 3]
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("MAP(+1)", [2, 0, 4]),
+            ("MAP(-1)", [0, -2, 2]),
+            ("MAP(*2)", [2, -2, 6]),
+            ("MAP(*3)", [3, -3, 9]),
+            ("MAP(*4)", [4, -4, 12]),
+            ("MAP(*(-1))", [-1, 1, -3]),
+            ("MAP(^2)", [1, 1, 9]),
+        ],
+    )
+    def test_map_arithmetic(self, name, expected):
+        assert f(name)([1, -1, 3]) == expected
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("MAP(/2)", [2, -2, 1]), ("MAP(/3)", [1, -1, 1]), ("MAP(/4)", [1, -1, 0])],
+    )
+    def test_map_division_truncates_toward_zero(self, name, expected):
+        assert f(name)([5, -5, 3]) == expected
+
+    def test_map_squares_saturate(self):
+        assert f("MAP(^2)")([100]) == [INT_MAX]
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("FILTER(>0)", [1, 3]),
+            ("FILTER(<0)", [-2]),
+            ("FILTER(odd)", [1, 3]),
+            ("FILTER(even)", [-2, 0]),
+        ],
+    )
+    def test_filter_variants(self, name, expected):
+        assert f(name)([1, -2, 3, 0]) == expected
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("SCANL1(+)", [1, 3, 6]),
+            ("SCANL1(-)", [1, 1, 2]),
+            ("SCANL1(*)", [1, 2, 6]),
+            ("SCANL1(min)", [1, 1, 1]),
+            ("SCANL1(max)", [1, 2, 3]),
+        ],
+    )
+    def test_scanl1_variants(self, name, expected):
+        # note: our SCANL1 lambda receives (current, accumulated)
+        assert f(name)([1, 2, 3]) == expected
+
+    def test_scanl1_empty(self):
+        assert f("SCANL1(+)")([]) == []
+
+
+class TestIntListFunctions:
+    def test_take(self):
+        assert f("TAKE")(2, [1, 2, 3]) == [1, 2]
+        assert f("TAKE")(5, [1, 2, 3]) == [1, 2, 3]
+        assert f("TAKE")(0, [1, 2, 3]) == []
+        assert f("TAKE")(-1, [1, 2, 3]) == []
+
+    def test_drop(self):
+        assert f("DROP")(2, [1, 2, 3]) == [3]
+        assert f("DROP")(0, [1, 2, 3]) == [1, 2, 3]
+        assert f("DROP")(5, [1, 2, 3]) == []
+        assert f("DROP")(-1, [1, 2, 3]) == [1, 2, 3]
+
+    def test_delete(self):
+        assert f("DELETE")(2, [1, 2, 3, 2]) == [1, 3]
+        assert f("DELETE")(9, [1, 2]) == [1, 2]
+
+    def test_insert(self):
+        assert f("INSERT")(7, [1, 2]) == [1, 2, 7]
+        assert f("INSERT")(7, []) == [7]
+
+    def test_access(self):
+        assert f("ACCESS")(1, [5, 6, 7]) == 6
+        assert f("ACCESS")(-1, [5, 6, 7]) == 0
+        assert f("ACCESS")(3, [5, 6, 7]) == 0
+
+    def test_search(self):
+        assert f("SEARCH")(7, [5, 6, 7]) == 2
+        assert f("SEARCH")(9, [5, 6, 7]) == -1
+        assert f("SEARCH")(5, []) == -1
+
+
+class TestZipWith:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("ZIPWITH(+)", [5, 7]),
+            ("ZIPWITH(-)", [-3, -3]),
+            ("ZIPWITH(*)", [4, 10]),
+            ("ZIPWITH(min)", [1, 2]),
+            ("ZIPWITH(max)", [4, 5]),
+        ],
+    )
+    def test_zipwith_variants(self, name, expected):
+        assert f(name)([1, 2], [4, 5]) == expected
+
+    def test_zipwith_truncates_to_shorter(self):
+        assert f("ZIPWITH(+)")([1, 2, 3], [10]) == [11]
+        assert f("ZIPWITH(+)")([], [1, 2]) == []

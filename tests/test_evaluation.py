@@ -1,0 +1,290 @@
+"""Evaluation metrics, tables, figures, confusion matrices and runners."""
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig, NetSynConfig
+from repro.core.result import SynthesisResult
+from repro.evaluation import (
+    AblationRunner,
+    EvaluationRunner,
+    confusion_matrix,
+    confusion_from_model,
+    fig4_search_space_series,
+    fig4_synthesis_rate_series,
+    fig4_time_series,
+    fig5_singleton_vs_list,
+    fig6_function_breakdown,
+    fig7_model_quality,
+    format_ablation_table,
+    format_percentile_table,
+    percentile_curve,
+    search_space_percentiles,
+    synthesis_percentage,
+    synthesis_rate_by_task,
+    synthesis_rate_distribution,
+    time_percentiles,
+)
+from repro.evaluation.confusion import close_prediction_rate
+from repro.evaluation.metrics import (
+    RunRecord,
+    filter_records,
+    per_function_synthesis_rate,
+    singleton_vs_list_breakdown,
+    summarize_method,
+)
+from repro.evaluation.runner import ABLATION_VARIANTS
+from repro.evaluation.tables import format_summary_table
+
+
+def make_record(
+    method="m",
+    task_id="t0",
+    found=True,
+    candidates=100,
+    budget=1000,
+    run_index=0,
+    length=5,
+    wall_time=1.0,
+    is_singleton=False,
+    target_ids=(1, 2, 3),
+):
+    result = SynthesisResult(
+        found=found,
+        program=None,
+        candidates_used=candidates,
+        budget_limit=budget,
+        wall_time_seconds=wall_time,
+        method=method,
+        task_id=task_id,
+    )
+    return RunRecord(
+        method=method,
+        length=length,
+        task_id=task_id,
+        run_index=run_index,
+        result=result,
+        is_singleton=is_singleton,
+        target_function_ids=target_ids,
+    )
+
+
+class TestMetrics:
+    def test_synthesis_percentage_majority_rule(self):
+        records = [
+            make_record(task_id="a", found=True, run_index=0),
+            make_record(task_id="a", found=True, run_index=1),
+            make_record(task_id="b", found=False, run_index=0),
+            make_record(task_id="b", found=True, run_index=1),
+            make_record(task_id="c", found=False, run_index=0),
+            make_record(task_id="c", found=False, run_index=1),
+        ]
+        assert synthesis_percentage(records) == pytest.approx(2 / 3)
+        assert synthesis_percentage([]) == 0.0
+
+    def test_synthesis_rate_by_task_and_distribution(self):
+        records = [
+            make_record(task_id="a", found=True),
+            make_record(task_id="a", found=False, run_index=1),
+            make_record(task_id="b", found=True),
+        ]
+        rates = synthesis_rate_by_task(records)
+        assert rates == {"a": 0.5, "b": 1.0}
+        assert list(synthesis_rate_distribution(records)) == [0.5, 1.0]
+
+    def test_percentile_curve_with_unreached_percentiles(self):
+        records = [
+            make_record(task_id="a", found=True, candidates=100),
+            make_record(task_id="b", found=True, candidates=500),
+            make_record(task_id="c", found=False),
+            make_record(task_id="d", found=False),
+        ]
+        curve = search_space_percentiles(records, percentiles=(25, 50, 75, 100))
+        assert curve[25] == pytest.approx(0.1)
+        assert curve[50] == pytest.approx(0.5)
+        assert curve[75] is None
+        assert curve[100] is None
+
+    def test_percentile_curve_uses_median_over_runs(self):
+        records = [
+            make_record(task_id="a", found=True, candidates=100, run_index=0),
+            make_record(task_id="a", found=True, candidates=300, run_index=1),
+        ]
+        curve = percentile_curve(records, lambda r: r.candidates_used, percentiles=(100,))
+        assert curve[100] == pytest.approx(200)
+
+    def test_time_percentiles(self):
+        records = [make_record(task_id="a", wall_time=2.0), make_record(task_id="b", wall_time=4.0)]
+        curve = time_percentiles(records, percentiles=(50, 100))
+        assert curve[50] == pytest.approx(2.0)
+        assert curve[100] == pytest.approx(4.0)
+
+    def test_filter_records(self):
+        records = [make_record(method="a", length=5), make_record(method="b", length=7)]
+        assert len(filter_records(records, method="a")) == 1
+        assert len(filter_records(records, length=7)) == 1
+        assert len(filter_records(records, method="a", length=7)) == 0
+
+    def test_summarize_method(self):
+        records = [
+            make_record(method="m", task_id="a", found=True, candidates=100, wall_time=1.0),
+            make_record(method="m", task_id="b", found=False),
+        ]
+        summary = summarize_method(records, "m", 5)
+        assert summary.n_tasks == 2
+        assert summary.synthesis_percentage == 0.5
+        assert summary.mean_candidates_when_found == 100
+
+    def test_singleton_vs_list_breakdown(self):
+        records = [
+            make_record(task_id="a", is_singleton=True, found=False),
+            make_record(task_id="b", is_singleton=False, found=True),
+        ]
+        breakdown = singleton_vs_list_breakdown(records)
+        assert breakdown["singleton"] == 0.0
+        assert breakdown["list"] == 1.0
+
+    def test_per_function_synthesis_rate(self):
+        records = [
+            make_record(task_id="a", found=True, target_ids=(1, 2)),
+            make_record(task_id="b", found=False, target_ids=(2, 3)),
+        ]
+        rates = per_function_synthesis_rate(records)
+        assert rates[0] == 1.0  # function 1 only appears in the found task
+        assert rates[1] == 0.5
+        assert rates[2] == 0.0
+        assert np.isnan(rates[10])
+
+
+class TestConfusion:
+    def test_confusion_matrix_rows_normalized(self):
+        matrix = confusion_matrix(np.array([0, 0, 1, 2]), np.array([0, 1, 1, 2]), n_classes=3)
+        assert matrix.shape == (3, 3)
+        assert np.allclose(matrix.sum(axis=1), [1.0, 1.0, 1.0])
+        assert matrix[0, 0] == 0.5
+
+    def test_confusion_matrix_validates(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0, 1]), 2)
+
+    def test_confusion_from_model(self, tiny_trace_artifacts, tiny_trace_dataset):
+        matrix = confusion_from_model(tiny_trace_artifacts.model, tiny_trace_dataset, max_samples=30)
+        assert matrix.shape == (4, 4)
+        assert np.all(matrix >= 0) and np.all(matrix <= 1)
+
+    def test_close_prediction_rate(self):
+        matrix = np.eye(5)
+        assert close_prediction_rate(matrix, 3) == 1.0
+        with pytest.raises(ValueError):
+            close_prediction_rate(matrix, 9)
+
+
+class TestFigures:
+    def _records(self):
+        return [
+            make_record(method="x", task_id="a", found=True, candidates=100, wall_time=1.0, is_singleton=True),
+            make_record(method="x", task_id="b", found=False, is_singleton=False),
+            make_record(method="y", task_id="a", found=True, candidates=600, wall_time=2.0, is_singleton=True),
+            make_record(method="y", task_id="b", found=True, candidates=900, wall_time=3.0, is_singleton=False),
+        ]
+
+    def test_fig4_series(self):
+        records = self._records()
+        ss = fig4_search_space_series(records, ["x", "y"], length=5)
+        assert len(ss["x"][0]) == 1  # x only synthesizes one of two tasks
+        assert len(ss["y"][0]) == 2
+        assert ss["y"][1][-1] == pytest.approx(0.9)
+        rates = fig4_synthesis_rate_series(records, ["x", "y"], length=5)
+        assert list(rates["x"]) == [0.0, 1.0]
+        times = fig4_time_series(records, ["y"], length=5)
+        assert times["y"][1][-1] == pytest.approx(3.0)
+
+    def test_fig5_and_fig6(self):
+        records = self._records()
+        fig5 = fig5_singleton_vs_list(records, ["x", "y"])
+        assert fig5["x"]["summary"]["singleton"] == 1.0
+        fig6 = fig6_function_breakdown(records, ["x"])
+        assert fig6["x"].shape == (41,)
+
+    def test_fig7(self, tiny_trace_artifacts, tiny_trace_dataset, tiny_fp_artifacts):
+        output = fig7_model_quality(
+            {"cf": tiny_trace_artifacts.model},
+            {"cf": tiny_trace_dataset},
+            fp_history=tiny_fp_artifacts.history,
+        )
+        assert output["confusion_cf"].shape == (4, 4)
+        assert len(output["fp_accuracy_over_epochs"]) == tiny_fp_artifacts.history.epochs
+
+
+class TestTables:
+    def test_percentile_table_contains_methods_and_dashes(self):
+        records = [
+            make_record(method="good", task_id="a", found=True, candidates=10),
+            make_record(method="bad", task_id="a", found=False),
+        ]
+        table = format_percentile_table(records, ["good", "bad"], [5], metric="search_space")
+        assert "good" in table and "bad" in table
+        assert "-" in table
+        with pytest.raises(ValueError):
+            format_percentile_table(records, ["good"], [5], metric="bogus")
+
+    def test_time_table_formats_seconds(self):
+        records = [make_record(method="m", task_id="a", found=True, wall_time=65.0)]
+        table = format_percentile_table(records, ["m"], [5], metric="time")
+        assert "65s" in table
+
+    def test_summary_table(self):
+        records = [make_record(method="m", task_id="a", found=True, candidates=42)]
+        table = format_summary_table([summarize_method(records, "m", 5)])
+        assert "42" in table
+
+
+class TestRunners:
+    def test_evaluation_runner_end_to_end(self, tiny_netsyn_config):
+        experiment = ExperimentConfig(
+            lengths=(3,),
+            n_test_programs=2,
+            n_runs=1,
+            max_search_space=300,
+            methods=("edit", "oracle"),
+            seed=0,
+        )
+        runner = EvaluationRunner(experiment, tiny_netsyn_config)
+        report = runner.run()
+        assert len(report.records) == 2 * 1 * 2  # tasks x runs x methods
+        assert set(report.methods) == {"edit", "oracle"}
+        assert report.lengths == [3]
+        summaries = report.summaries()
+        assert len(summaries) == 2
+        oracle_records = report.records_for(method="oracle")
+        assert all(r.result.budget_limit == 300 for r in oracle_records)
+
+    def test_evaluation_report_save(self, tmp_path, tiny_netsyn_config):
+        experiment = ExperimentConfig(
+            lengths=(3,), n_test_programs=1, n_runs=1, max_search_space=200, methods=("edit",), seed=0
+        )
+        report = EvaluationRunner(experiment, tiny_netsyn_config).run()
+        path = tmp_path / "report.json"
+        report.save(path)
+        assert path.exists() and path.stat().st_size > 0
+
+    def test_ablation_runner_rows(self, tiny_netsyn_config):
+        runner = AblationRunner(
+            base_config=tiny_netsyn_config,
+            n_tasks=2,
+            n_runs=1,
+            max_search_space=300,
+        )
+        rows = runner.run(variants=ABLATION_VARIANTS[:2])
+        assert len(rows) == 2
+        assert rows[0].approach == "GA+fCF"
+        assert all(0 <= row.programs_synthesized <= row.n_tasks for row in rows)
+        table = format_ablation_table(rows)
+        assert "GA+fCF" in table
+
+    def test_experiment_scaling(self):
+        experiment = ExperimentConfig(n_test_programs=10, n_runs=4, max_search_space=1000, scale=0.5)
+        scaled = experiment.scaled()
+        assert scaled.n_test_programs == 5
+        assert scaled.n_runs == 2
+        assert scaled.max_search_space == 500

@@ -1,0 +1,327 @@
+"""Ideal metrics, feature encoding, neural fitness models and fitness functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsl import Interpreter, Program, REGISTRY, make_io_set
+from repro.fitness import (
+    EditDistanceFitness,
+    FeatureEncoder,
+    FunctionProbabilityModel,
+    LearnedTraceFitness,
+    OracleFitness,
+    ProbabilityMapFitness,
+    TraceFitnessModel,
+    common_functions,
+    function_membership,
+    ideal_fitness,
+    lcs_length,
+    levenshtein,
+    output_edit_distance,
+    value_to_token,
+    value_vocabulary_size,
+)
+from repro.fitness.datasets import FunctionProbabilityDataset, TraceFitnessDataset
+from repro.fitness.features import FitnessSample, flatten_value, sample_from_execution
+from repro.fitness.ideal import fp_score
+from repro.config import NNConfig
+
+
+class TestIdealMetrics:
+    def test_paper_example_cf_and_lcs(self):
+        target = Program.from_names(["FILTER(>0)", "MAP(*2)", "SORT", "REVERSE"])
+        candidate = Program.from_names(["FILTER(>0)", "MAP(*2)", "REVERSE", "DROP"])
+        assert common_functions(candidate, target) == 3
+        assert lcs_length(candidate, target) == 3  # FILTER, MAP, REVERSE in order
+
+    def test_cf_is_multiset_intersection(self):
+        a = Program.from_names(["SORT", "SORT", "REVERSE"])
+        b = Program.from_names(["SORT", "REVERSE", "REVERSE"])
+        assert common_functions(a, b) == 2
+
+    def test_lcs_respects_order(self):
+        a = Program.from_names(["SORT", "REVERSE"])
+        b = Program.from_names(["REVERSE", "SORT"])
+        assert lcs_length(a, b) == 1
+
+    def test_lcs_empty_program(self):
+        assert lcs_length(Program([]), Program.from_names(["SORT"])) == 0
+
+    def test_ideal_fitness_dispatch(self):
+        a = Program.from_names(["SORT"])
+        assert ideal_fitness("cf", a, a) == 1.0
+        assert ideal_fitness("lcs", a, a) == 1.0
+        with pytest.raises(ValueError):
+            ideal_fitness("bogus", a, a)
+
+    def test_function_membership(self):
+        program = Program.from_names(["SORT", "REVERSE", "SORT"])
+        membership = function_membership(program)
+        assert membership.shape == (41,)
+        assert membership.sum() == 2
+        assert membership[REGISTRY.by_name("SORT").fid - 1] == 1.0
+
+    def test_fp_score_counts_distinct_functions(self):
+        prob_map = np.zeros(41)
+        prob_map[REGISTRY.by_name("SORT").fid - 1] = 0.9
+        program = Program.from_names(["SORT", "SORT"])
+        assert np.isclose(fp_score(program, prob_map), 0.9)
+
+    def test_levenshtein_basics(self):
+        assert levenshtein([1, 2, 3], [1, 2, 3]) == 0
+        assert levenshtein([1, 2, 3], [1, 3]) == 1
+        assert levenshtein([], [1, 2]) == 2
+
+    def test_output_edit_distance_mixes_types(self):
+        assert output_edit_distance(5, [5]) == 0
+        assert output_edit_distance(5, [5, 6]) == 1
+        assert output_edit_distance([1, 2], 7) == 2
+
+
+class TestFeatureEncoding:
+    def test_value_tokens_cover_domain(self):
+        assert value_to_token(-255) == 1
+        assert value_to_token(255) == value_vocabulary_size() - 1
+        assert value_to_token(0) == 256
+
+    def test_flatten_value(self):
+        assert flatten_value(3) == [3]
+        assert flatten_value([1, 2]) == [1, 2]
+
+    def _sample(self, label=2):
+        interpreter = Interpreter()
+        target = Program.from_names(["FILTER(>0)", "MAP(*2)", "SORT"])
+        candidate = Program.from_names(["FILTER(>0)", "REVERSE", "SORT"])
+        io_set = make_io_set(target, [[[1, -2, 3]], [[4, -5]]], interpreter)
+        traces = [interpreter.run(candidate, ex.inputs) for ex in io_set]
+        return sample_from_execution(candidate, io_set, traces, label=label)
+
+    def test_sample_from_execution(self):
+        sample = self._sample()
+        assert sample.n_examples == 2
+        assert sample.program_length == 3
+        assert sample.label == 2
+        assert len(sample.traces[0]) == 3
+
+    def test_trace_batch_shapes(self):
+        encoder = FeatureEncoder()
+        samples = [self._sample(), self._sample(label=1)]
+        batch = encoder.encode_trace_batch(samples)
+        b, m, length = batch["shape"]
+        assert (b, m, length) == (2, 2, 3)
+        assert batch["input_tokens"].shape[0] == b * m
+        assert batch["step_functions"].shape == (b * m, length)
+        assert batch["step_value_tokens"].shape[0] == b * m * length
+        assert list(batch["labels"]) == [2, 1]
+        assert set(np.unique(batch["step_mask"])) <= {0.0, 1.0}
+
+    def test_trace_batch_requires_same_example_count(self):
+        encoder = FeatureEncoder()
+        sample = self._sample()
+        other = FitnessSample(
+            function_ids=sample.function_ids,
+            io_inputs=sample.io_inputs[:1],
+            io_outputs=sample.io_outputs[:1],
+            traces=sample.traces[:1],
+            label=0,
+        )
+        with pytest.raises(ValueError):
+            encoder.encode_trace_batch([sample, other])
+
+    def test_trace_batch_pads_mixed_lengths(self):
+        encoder = FeatureEncoder()
+        short = self._sample()
+        longer = FitnessSample(
+            function_ids=short.function_ids + (REGISTRY.by_name("SORT").fid,),
+            io_inputs=short.io_inputs,
+            io_outputs=short.io_outputs,
+            traces=tuple(t + (list(t[-1]),) for t in short.traces),
+            label=1,
+        )
+        batch = encoder.encode_trace_batch([short, longer])
+        assert int(batch["shape"][2]) == 4
+        # padded step of the short sample is masked out
+        assert batch["step_mask"].reshape(2, 2, 4)[0, :, 3].sum() == 0
+
+    def test_io_batch_shapes(self):
+        encoder = FeatureEncoder()
+        interpreter = Interpreter()
+        target = Program.from_names(["SORT"])
+        io_set = make_io_set(target, [[[3, 1]], [[2, 5]]], interpreter)
+        batch = encoder.encode_io_batch([io_set, io_set], fp_targets=np.zeros((2, 41)))
+        assert tuple(batch["shape"]) == (2, 2)
+        assert batch["fp_targets"].shape == (2, 41)
+
+    def test_empty_batches_rejected(self):
+        encoder = FeatureEncoder()
+        with pytest.raises(ValueError):
+            encoder.encode_trace_batch([])
+        with pytest.raises(ValueError):
+            encoder.encode_io_batch([])
+
+    def test_long_values_truncated(self):
+        encoder = FeatureEncoder(max_value_length=4)
+        assert len(encoder.encode_value(list(range(10)))) == 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=-255, max_value=255))
+    def test_value_tokens_are_unique_and_in_range(self, value):
+        token = value_to_token(value)
+        assert 1 <= token < value_vocabulary_size()
+        assert token != 0  # never the padding token
+
+
+class TestDatasets:
+    def test_trace_dataset_batching_and_split(self, tiny_trace_samples):
+        dataset = TraceFitnessDataset(tiny_trace_samples)
+        assert len(dataset) == len(tiny_trace_samples)
+        batch = dataset.get_batch(np.arange(min(4, len(dataset))))
+        assert "labels" in batch
+        train, val = dataset.split(0.25, np.random.default_rng(0))
+        assert len(train) + len(val) == len(dataset)
+        assert len(val) == int(round(0.25 * len(dataset)))
+
+    def test_trace_dataset_label_distribution(self, tiny_trace_samples):
+        histogram = TraceFitnessDataset(tiny_trace_samples).label_distribution()
+        assert sum(histogram.values()) == len(tiny_trace_samples)
+        assert set(histogram) <= set(range(0, 4))
+
+    def test_fp_dataset_validation(self):
+        with pytest.raises(ValueError):
+            FunctionProbabilityDataset([], np.zeros((1, 41)))
+
+    def test_split_validation(self, tiny_trace_samples):
+        dataset = TraceFitnessDataset(tiny_trace_samples)
+        with pytest.raises(ValueError):
+            dataset.split(1.5, np.random.default_rng(0))
+
+
+class TestModels:
+    def _batch(self, n=3):
+        encoder = FeatureEncoder()
+        interpreter = Interpreter()
+        target = Program.from_names(["FILTER(>0)", "MAP(*2)", "SORT"])
+        io_set = make_io_set(target, [[[1, -2, 3]], [[4, -5]]], interpreter)
+        samples = []
+        for label in range(n):
+            candidate = Program.from_names(["REVERSE", "MAP(*2)", "SORT"])
+            traces = [interpreter.run(candidate, ex.inputs) for ex in io_set]
+            samples.append(sample_from_execution(candidate, io_set, traces, label=label % 4))
+        return encoder.encode_trace_batch(samples), encoder.encode_io_batch([io_set]), io_set
+
+    @pytest.mark.parametrize("encoder_kind", ["pooled", "lstm"])
+    def test_trace_model_forward_and_loss(self, encoder_kind):
+        config = NNConfig(embedding_dim=4, hidden_dim=6, fc_dim=6, encoder=encoder_kind)
+        model = TraceFitnessModel(n_classes=4, config=config, rng=np.random.default_rng(0))
+        batch, _, _ = self._batch()
+        logits = model(batch)
+        assert logits.shape == (3, 4)
+        loss, metrics = model.compute_loss(batch)
+        assert loss.item() > 0
+        assert 0.0 <= metrics["accuracy"] <= 1.0
+        fitness = model.predict_fitness(batch)
+        assert fitness.shape == (3,)
+        assert np.all((0 <= fitness) & (fitness <= 3))
+        assert model.predict_classes(batch).shape == (3,)
+
+    def test_trace_model_gradients_flow_to_all_parameters(self):
+        config = NNConfig(embedding_dim=3, hidden_dim=4, fc_dim=4, encoder="pooled")
+        model = TraceFitnessModel(n_classes=4, config=config, rng=np.random.default_rng(0))
+        batch, _, _ = self._batch()
+        loss, _ = model.compute_loss(batch)
+        loss.backward()
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).sum() > 0 for g in grads)
+
+    def test_trace_model_requires_labels(self):
+        model = TraceFitnessModel(n_classes=4, config=NNConfig(embedding_dim=3, hidden_dim=4, fc_dim=4, encoder="pooled"))
+        batch, _, _ = self._batch()
+        del batch["labels"]
+        with pytest.raises(ValueError):
+            model.compute_loss(batch)
+
+    def test_trace_model_validates_n_classes(self):
+        with pytest.raises(ValueError):
+            TraceFitnessModel(n_classes=1)
+
+    def test_fp_model_forward_and_loss(self):
+        config = NNConfig(embedding_dim=4, hidden_dim=6, fc_dim=6, encoder="pooled")
+        model = FunctionProbabilityModel(config=config, rng=np.random.default_rng(0))
+        _, io_batch, _ = self._batch()
+        io_batch["fp_targets"] = np.zeros((1, 41))
+        io_batch["fp_targets"][0, 0] = 1.0
+        loss, metrics = model.compute_loss(io_batch)
+        assert loss.item() > 0
+        probabilities = model.predict_probability_map(io_batch)
+        assert probabilities.shape == (1, 41)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_fp_model_requires_targets(self):
+        model = FunctionProbabilityModel(config=NNConfig(embedding_dim=3, hidden_dim=4, fc_dim=4, encoder="pooled"))
+        _, io_batch, _ = self._batch()
+        with pytest.raises(ValueError):
+            model.compute_loss(io_batch)
+
+
+class TestFitnessFunctions:
+    def _task(self):
+        interpreter = Interpreter()
+        target = Program.from_names(["FILTER(>0)", "MAP(*2)", "SORT"])
+        io_set = make_io_set(target, [[[1, -2, 3]], [[4, -5, 6]]], interpreter)
+        return target, io_set
+
+    def test_oracle_scores_target_highest(self):
+        target, io_set = self._task()
+        oracle = OracleFitness(target, kind="lcs")
+        programs = [target, Program.from_names(["SORT", "SORT", "SORT"]), Program.from_names(["REVERSE"])]
+        scores = oracle.score(programs, io_set)
+        assert scores[0] == max(scores)
+        assert oracle.score_one(target, io_set) == len(target)
+        assert oracle.probability_map(io_set).sum() == len(set(target.function_ids))
+
+    def test_oracle_rank_orders_descending(self):
+        target, io_set = self._task()
+        oracle = OracleFitness(target, kind="cf")
+        ranked = oracle.rank([Program.from_names(["REVERSE"]), target], io_set)
+        assert ranked[0].program == target
+        assert ranked[0].score >= ranked[1].score
+
+    def test_oracle_validates_kind(self):
+        with pytest.raises(ValueError):
+            OracleFitness(Program.from_names(["SORT"]), kind="bogus")
+
+    def test_edit_distance_fitness_prefers_matching_outputs(self):
+        target, io_set = self._task()
+        edit = EditDistanceFitness()
+        scores = edit.score([target, Program.from_names(["REVERSE"])], io_set)
+        assert scores[0] == len(io_set)  # perfect match -> one point per example
+        assert scores[0] > scores[1]
+
+    def test_edit_distance_empty_program_list(self):
+        _, io_set = self._task()
+        assert EditDistanceFitness().score([], io_set).shape == (0,)
+
+    def test_learned_trace_fitness_scores(self, tiny_trace_artifacts):
+        target, io_set = self._task()
+        fitness = LearnedTraceFitness(tiny_trace_artifacts.model, kind="cf", encoder=tiny_trace_artifacts.encoder)
+        programs = [target, Program.from_names(["REVERSE", "SORT", "SUM"])]
+        scores = fitness.score(programs, io_set)
+        assert scores.shape == (2,)
+        assert np.all(np.isfinite(scores))
+        assert fitness.mutation_scores(target, io_set) is None
+
+    def test_learned_trace_fitness_validates_kind(self, tiny_trace_artifacts):
+        with pytest.raises(ValueError):
+            LearnedTraceFitness(tiny_trace_artifacts.model, kind="bogus")
+
+    def test_probability_map_fitness_caches(self, tiny_fp_artifacts):
+        target, io_set = self._task()
+        fitness = ProbabilityMapFitness(tiny_fp_artifacts.model, encoder=tiny_fp_artifacts.encoder)
+        first = fitness.probability_map(io_set)
+        second = fitness.probability_map(io_set)
+        assert first is second  # cached object
+        scores = fitness.score([target, Program.from_names(["REVERSE"])], io_set)
+        assert scores.shape == (2,)
+        assert np.all(scores >= 0)

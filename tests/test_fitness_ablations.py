@@ -1,0 +1,117 @@
+"""Section 5.3.1 ablation models: regression, two-tier, ranking, bigram."""
+
+import numpy as np
+import pytest
+
+from repro.config import NNConfig
+from repro.dsl import Program
+from repro.fitness.ablations import (
+    BigramMembershipModel,
+    PairwiseRankingDataset,
+    PairwiseRankingModel,
+    RegressionFitnessModel,
+    TwoTierFitnessModel,
+    _subset_trace_batch,
+)
+from repro.fitness.datasets import TraceFitnessDataset
+from repro.fitness.features import FeatureEncoder
+from repro.nn.optimizers import Adam
+from repro.nn.training import Trainer
+
+
+CONFIG = NNConfig(embedding_dim=4, hidden_dim=6, fc_dim=6, encoder="pooled")
+
+
+@pytest.fixture(scope="module")
+def trace_batch(tiny_trace_samples):
+    encoder = FeatureEncoder()
+    return encoder.encode_trace_batch(tiny_trace_samples[:8])
+
+
+class TestRegressionModel:
+    def test_forward_loss_and_prediction_range(self, trace_batch):
+        model = RegressionFitnessModel(max_fitness=3, config=CONFIG, rng=np.random.default_rng(0))
+        loss, metrics = model.compute_loss(trace_batch)
+        assert loss.item() >= 0
+        assert "mae" in metrics
+        fitness = model.predict_fitness(trace_batch)
+        assert fitness.shape == (8,)
+        assert np.all((fitness >= 0) & (fitness <= 3))
+
+    def test_training_reduces_loss(self, tiny_trace_samples):
+        dataset = TraceFitnessDataset(tiny_trace_samples[:40])
+        model = RegressionFitnessModel(max_fitness=3, config=CONFIG, rng=np.random.default_rng(0))
+        trainer = Trainer(model, Adam(model.parameters(), learning_rate=0.02))
+        history = trainer.fit(dataset, epochs=3, batch_size=16)
+        assert history.train_loss[-1] <= history.train_loss[0] + 1e-9
+
+
+class TestTwoTierModel:
+    def test_loss_and_prediction(self, trace_batch):
+        model = TwoTierFitnessModel(n_classes=4, config=CONFIG, rng=np.random.default_rng(0))
+        loss, metrics = model.compute_loss(trace_batch)
+        assert loss.item() > 0
+        assert "zero_accuracy" in metrics
+        fitness = model.predict_fitness(trace_batch)
+        assert fitness.shape == (8,)
+        assert np.all(fitness >= 0)
+
+    def test_subset_trace_batch_consistency(self, trace_batch):
+        subset = _subset_trace_batch(trace_batch, np.array([0, 2]))
+        b, m, length = (int(x) for x in subset["shape"])
+        assert b == 2
+        assert subset["input_tokens"].shape[0] == b * m
+        assert subset["step_value_tokens"].shape[0] == b * m * length
+        assert list(subset["labels"]) == [trace_batch["labels"][0], trace_batch["labels"][2]]
+
+
+class TestPairwiseRanking:
+    def test_dataset_builds_ordered_pairs(self, tiny_trace_samples):
+        dataset = PairwiseRankingDataset(tiny_trace_samples, np.random.default_rng(0), n_pairs=10)
+        assert len(dataset) > 0
+        batch_a, batch_b, labels = dataset.get_batch(np.arange(min(4, len(dataset))))
+        assert set(labels.tolist()) <= {0, 1}
+        assert int(batch_a["shape"][0]) == len(labels)
+
+    def test_model_trains_and_predicts(self, tiny_trace_samples):
+        dataset = PairwiseRankingDataset(tiny_trace_samples, np.random.default_rng(0), n_pairs=20)
+        model = PairwiseRankingModel(n_classes=4, config=CONFIG, rng=np.random.default_rng(0))
+        trainer = Trainer(model, Adam(model.parameters(), learning_rate=0.02))
+        history = trainer.fit(dataset, epochs=2, batch_size=8)
+        assert history.epochs == 2
+        batch_a, batch_b, labels = dataset.get_batch(np.arange(4))
+        predictions = model.predict_first_better(batch_a, batch_b)
+        assert predictions.shape == (4,)
+
+    def test_dataset_requires_labelled_samples(self):
+        with pytest.raises(ValueError):
+            PairwiseRankingDataset([], np.random.default_rng(0))
+
+
+class TestBigramModel:
+    def test_bigram_target_construction(self):
+        program = Program.from_names(["SORT", "REVERSE", "SORT"])
+        target = BigramMembershipModel.bigram_target(program)
+        assert target.shape == (41 * 41,)
+        assert target.sum() == 2  # SORT->REVERSE and REVERSE->SORT
+
+    def test_loss_and_prediction(self, tiny_fp_artifacts, tiny_corpus_builder):
+        io_sets, _ = tiny_corpus_builder.build_fp_data(count=4)
+        encoder = FeatureEncoder()
+        batch = encoder.encode_io_batch(io_sets)
+        model = BigramMembershipModel(config=CONFIG, rng=np.random.default_rng(0))
+        batch["bigram_targets"] = np.zeros((4, 41 * 41))
+        batch["bigram_targets"][:, 5] = 1.0
+        loss, metrics = model.compute_loss(batch)
+        assert loss.item() > 0
+        assert "positive_accuracy" in metrics
+        bigram_map = model.predict_bigram_map(batch)
+        assert bigram_map.shape == (4, 41, 41)
+        assert np.all((bigram_map >= 0) & (bigram_map <= 1))
+
+    def test_requires_targets(self, tiny_corpus_builder):
+        io_sets, _ = tiny_corpus_builder.build_fp_data(count=2)
+        batch = FeatureEncoder().encode_io_batch(io_sets)
+        model = BigramMembershipModel(config=CONFIG, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.compute_loss(batch)

@@ -1,0 +1,143 @@
+"""Autograd engine: forward values, gradients and graph behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, concat, embedding_lookup, is_grad_enabled, no_grad, stack
+from repro.nn.gradcheck import check_gradients
+from repro.nn.module import Parameter
+
+
+def scalar_param(value):
+    return Parameter(np.array(value, dtype=float))
+
+
+class TestForwardValues:
+    def test_arithmetic(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4, 6])
+        assert np.allclose((a - b).data, [-2, -2])
+        assert np.allclose((a * b).data, [3, 8])
+        assert np.allclose((a / b).data, [1 / 3, 0.5])
+        assert np.allclose((-a).data, [-1, -2])
+        assert np.allclose((a**2).data, [1, 4])
+
+    def test_scalar_broadcasting(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose((a + 1).data, [[2, 3], [4, 5]])
+        assert np.allclose((2 * a).data, [[2, 4], [6, 8]])
+        assert np.allclose((1 - a).data, [[0, -1], [-2, -3]])
+        assert np.allclose((8 / a).data, [[8, 4], [8 / 3, 2]])
+
+    def test_matmul(self):
+        a = Tensor([[1.0, 2.0]])
+        b = Tensor([[3.0], [4.0]])
+        assert np.allclose((a @ b).data, [[11.0]])
+
+    def test_reductions_and_reshape(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert a.sum().item() == 15
+        assert np.allclose(a.sum(axis=0).data, [3, 5, 7])
+        assert np.allclose(a.mean(axis=1).data, [1, 4])
+        assert a.reshape(3, 2).shape == (3, 2)
+        assert a.transpose().shape == (3, 2)
+
+    def test_nonlinearities(self):
+        a = Tensor([-1.0, 0.0, 2.0])
+        assert np.allclose(a.tanh().data, np.tanh([-1, 0, 2]))
+        assert np.allclose(a.relu().data, [0, 0, 2])
+        assert np.allclose(a.sigmoid().data, 1 / (1 + np.exp([1, 0, -2])))
+        assert np.allclose(a.exp().data, np.exp([-1, 0, 2]))
+        assert np.allclose(Tensor([1.0, np.e]).log().data, [0, 1])
+
+    def test_concat_and_stack_and_getitem(self):
+        a, b = Tensor([[1.0, 2.0]]), Tensor([[3.0, 4.0]])
+        assert concat([a, b], axis=0).shape == (2, 2)
+        assert concat([a, b], axis=1).shape == (1, 4)
+        assert stack([a, b], axis=0).shape == (2, 1, 2)
+        assert np.allclose(a[0, 1].data, 2.0)
+
+    def test_embedding_lookup(self):
+        weights = Tensor(np.arange(12, dtype=float).reshape(4, 3))
+        out = embedding_lookup(weights, np.array([[0, 2], [3, 3]]))
+        assert out.shape == (2, 2, 3)
+        assert np.allclose(out.data[1, 0], [9, 10, 11])
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = scalar_param(3.0)
+        y = (x * x + x).sum()
+        y.backward()
+        assert np.allclose(x.grad, 7.0)  # d/dx (x^2 + x) = 2x + 1
+
+    def test_grad_accumulates_over_backward_calls(self):
+        x = scalar_param(2.0)
+        (x * x).sum().backward()
+        (x * x).sum().backward()
+        assert np.allclose(x.grad, 8.0)
+
+    def test_broadcast_gradient_shapes(self):
+        w = Parameter(np.ones((1, 3)))
+        x = Tensor(np.ones((4, 3)))
+        loss = (x * w).sum()
+        loss.backward()
+        assert w.grad.shape == (1, 3)
+        assert np.allclose(w.grad, 4.0)
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Parameter(np.ones(3))
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_diamond_graph_gradient(self):
+        x = scalar_param(2.0)
+        a = x * 3
+        b = x * 4
+        ((a + b) * 1.0).sum().backward()
+        assert np.allclose(x.grad, 7.0)
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda p: (p * p).sum(),
+            lambda p: p.tanh().sum(),
+            lambda p: p.sigmoid().sum(),
+            lambda p: (p.exp() + 1).log().sum(),
+            lambda p: (p @ p.transpose()).sum(),
+            lambda p: p.reshape(-1).sum(),
+            lambda p: p.mean(axis=1).sum(),
+            lambda p: concat([p, p * 2], axis=1).sum(),
+            lambda p: stack([p, p * 3], axis=0).sum(),
+            lambda p: p[0:1, :].sum(),
+            lambda p: (p / (p * p + 1.0)).sum(),
+        ],
+    )
+    def test_gradcheck_against_numerical(self, builder):
+        rng = np.random.default_rng(0)
+        p = Parameter(rng.normal(size=(2, 3)))
+        check_gradients(lambda: builder(p), [p], tolerance=1e-4)
+
+    def test_embedding_gradcheck(self):
+        rng = np.random.default_rng(1)
+        weights = Parameter(rng.normal(size=(5, 3)))
+        indices = np.array([0, 2, 2, 4])
+        check_gradients(lambda: (embedding_lookup(weights, indices) ** 2).sum(), [weights])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        p = Parameter(np.ones(2))
+        with no_grad():
+            assert not is_grad_enabled()
+            out = (p * 2).sum()
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        p = Parameter(np.ones(2))
+        assert not p.detach().requires_grad

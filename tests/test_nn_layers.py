@@ -1,0 +1,160 @@
+"""Dense / Embedding / Dropout layers, Module mechanics, encoders."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Dropout,
+    Embedding,
+    LSTMSequenceEncoder,
+    MeanPoolEncoder,
+    Sequential,
+    Tanh,
+    make_sequence_encoder,
+)
+from repro.nn.autograd import Tensor
+from repro.nn.gradcheck import check_gradients
+from repro.nn.module import Module, Parameter
+
+
+class TestDense:
+    def test_output_shape_and_activation(self, rng):
+        layer = Dense(3, 4, activation="tanh", rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 3))))
+        assert out.shape == (5, 4)
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_no_activation_is_affine(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        x = rng.normal(size=(3, 2))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, 3, activation="bogus")
+
+    def test_gradients_flow(self, rng):
+        layer = Dense(3, 2, activation="relu", rng=rng)
+        x = Tensor(rng.normal(size=(4, 3)))
+        check_gradients(lambda: (layer(x) ** 2).sum(), layer.parameters())
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        out = layer(np.array([[1, 2], [3, 9]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_out_of_range_raises(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        with pytest.raises(IndexError):
+            layer(np.array([10]))
+        with pytest.raises(IndexError):
+            layer(np.array([-1]))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 3)
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(10, 10)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_zeroes_in_training_mode(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((50, 50)))
+        out = layer(x).data
+        assert (out == 0).mean() > 0.3
+        # inverted dropout keeps the expectation roughly constant
+        assert abs(out.mean() - 1.0) < 0.15
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestModuleMechanics:
+    def test_parameter_discovery_recurses(self, rng):
+        model = Sequential(Dense(3, 4, rng=rng), Tanh(), Dense(4, 2, rng=rng))
+        names = dict(model.named_parameters())
+        assert len(names) == 4  # two weights + two biases
+        assert model.parameter_count() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_state_dict_round_trip(self, rng):
+        model = Sequential(Dense(3, 4, rng=rng), Dense(4, 2, rng=rng))
+        state = model.state_dict()
+        clone = Sequential(Dense(3, 4, rng=np.random.default_rng(99)), Dense(4, 2, rng=np.random.default_rng(98)))
+        clone.load_state_dict(state)
+        x = Tensor(rng.normal(size=(2, 3)))
+        assert np.allclose(model(x).data, clone(x).data)
+
+    def test_load_state_dict_rejects_mismatches(self, rng):
+        model = Sequential(Dense(3, 4, rng=rng))
+        with pytest.raises(ValueError):
+            model.load_state_dict({})
+        bad = model.state_dict()
+        bad[next(iter(bad))] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(bad)
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Dropout(0.5, rng=rng), Dense(2, 2, rng=rng))
+        model.eval()
+        assert not model.layers[0].training
+        model.train()
+        assert model.layers[0].training
+
+    def test_zero_grad(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        (layer(Tensor(np.ones((1, 2)))) ** 2).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestEncoders:
+    @pytest.mark.parametrize("kind", ["lstm", "pooled"])
+    def test_encoder_shapes(self, kind, rng):
+        encoder = make_sequence_encoder(kind, vocab_size=12, embedding_dim=4, hidden_dim=6, rng=rng)
+        tokens = rng.integers(0, 12, size=(3, 5))
+        mask = np.ones((3, 5))
+        mask[1, 3:] = 0
+        out = encoder(tokens, mask)
+        assert out.shape == (3, 6)
+
+    def test_mask_changes_only_masked_rows(self, rng):
+        encoder = MeanPoolEncoder(vocab_size=12, embedding_dim=4, hidden_dim=6, rng=rng)
+        tokens = rng.integers(1, 12, size=(2, 5))
+        mask = np.ones((2, 5))
+        baseline = encoder(tokens, mask).data.copy()
+        tokens_altered = tokens.copy()
+        tokens_altered[0, 4] = (tokens[0, 4] + 1) % 12
+        mask_altered = mask.copy()
+        mask_altered[0, 4] = 0
+        masked = encoder(tokens_altered, mask_altered).data
+        # row 1 untouched, row 0 differs because its content/mask changed
+        assert np.allclose(masked[1], baseline[1])
+
+    def test_lstm_encoder_ignores_padding(self, rng):
+        encoder = LSTMSequenceEncoder(vocab_size=12, embedding_dim=4, hidden_dim=6, rng=rng)
+        tokens = np.array([[3, 5, 0, 0]])
+        short = encoder(np.array([[3, 5]]), np.ones((1, 2))).data
+        padded = encoder(tokens, np.array([[1.0, 1.0, 0.0, 0.0]])).data
+        assert np.allclose(short, padded)
+
+    def test_unknown_encoder_kind(self):
+        with pytest.raises(ValueError):
+            make_sequence_encoder("transformer", 10, 4, 4)
+
+    def test_rejects_bad_rank(self, rng):
+        encoder = MeanPoolEncoder(vocab_size=12, embedding_dim=4, hidden_dim=6, rng=rng)
+        with pytest.raises(ValueError):
+            encoder(np.zeros((2, 3, 4), dtype=int))

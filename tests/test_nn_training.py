@@ -1,0 +1,223 @@
+"""LSTM, losses, optimizers and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    LSTMCell,
+    Adam,
+    Dense,
+    SGD,
+    Trainer,
+    iterate_minibatches,
+    mse_loss,
+    sigmoid_binary_cross_entropy,
+    softmax_cross_entropy,
+    softmax_probabilities,
+)
+from repro.nn.autograd import Tensor
+from repro.nn.gradcheck import check_gradients
+from repro.nn.module import Module, Parameter
+from repro.nn.training import TrainingHistory
+
+
+class TestLSTM:
+    def test_cell_shapes(self, rng):
+        cell = LSTMCell(3, 5, rng=rng)
+        h, c = cell.initial_state(4)
+        h2, c2 = cell(Tensor(rng.normal(size=(4, 3))), (h, c))
+        assert h2.shape == (4, 5) and c2.shape == (4, 5)
+
+    def test_layer_shapes_and_sequence(self, rng):
+        lstm = LSTM(3, 5, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4, 3)))
+        last = lstm(x)
+        sequence, final = lstm(x, return_sequence=True)
+        assert last.shape == (2, 5)
+        assert sequence.shape == (2, 4, 5)
+        assert np.allclose(final.data, last.data)
+
+    def test_mask_freezes_state(self, rng):
+        lstm = LSTM(2, 3, rng=rng)
+        x = rng.normal(size=(1, 3, 2))
+        full = lstm(Tensor(x[:, :2, :]), mask=np.ones((1, 2))).data
+        padded = lstm(Tensor(x), mask=np.array([[1.0, 1.0, 0.0]])).data
+        assert np.allclose(full, padded)
+
+    def test_gradients_through_time(self, rng):
+        lstm = LSTM(2, 3, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4, 2)))
+        check_gradients(lambda: (lstm(x) ** 2).sum(), lstm.parameters(), tolerance=1e-4)
+
+    def test_rejects_bad_rank_and_mask(self, rng):
+        lstm = LSTM(2, 3, rng=rng)
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((2, 2))))
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((1, 2, 2))), mask=np.ones((2, 2)))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 3)
+
+
+class TestLosses:
+    def test_softmax_cross_entropy_value_and_grad(self):
+        logits = Parameter(np.array([[2.0, 0.0, -2.0], [0.0, 0.0, 0.0]]))
+        labels = np.array([0, 2])
+        loss = softmax_cross_entropy(logits, labels)
+        probs = softmax_probabilities(logits)
+        expected = -np.log([probs[0, 0], probs[1, 2]]).mean()
+        assert np.isclose(loss.item(), expected)
+        check_gradients(lambda: softmax_cross_entropy(logits, labels), [logits])
+
+    def test_softmax_cross_entropy_validates(self):
+        logits = Tensor(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(logits, np.array([0]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(logits, np.array([0, 3]))
+
+    def test_bce_matches_reference_and_grad(self):
+        logits = Parameter(np.array([[0.5, -1.0], [2.0, 0.0]]))
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        loss = sigmoid_binary_cross_entropy(logits, targets)
+        p = 1 / (1 + np.exp(-logits.data))
+        reference = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert np.isclose(loss.item(), reference)
+        check_gradients(lambda: sigmoid_binary_cross_entropy(logits, targets), [logits])
+
+    def test_bce_pos_weight_upweights_positives(self):
+        logits = Tensor(np.array([[-3.0, -3.0]]))
+        targets = np.array([[1.0, 0.0]])
+        plain = sigmoid_binary_cross_entropy(logits, targets).item()
+        weighted = sigmoid_binary_cross_entropy(logits, targets, pos_weight=10.0).item()
+        assert weighted > plain
+
+    def test_bce_pos_weight_gradcheck(self):
+        logits = Parameter(np.array([[0.3, -0.7, 1.2]]))
+        targets = np.array([[1.0, 0.0, 1.0]])
+        check_gradients(
+            lambda: sigmoid_binary_cross_entropy(logits, targets, pos_weight=5.0), [logits]
+        )
+
+    def test_mse(self):
+        predictions = Parameter(np.array([[1.0], [3.0]]))
+        loss = mse_loss(predictions, np.array([2.0, 1.0]))
+        assert np.isclose(loss.item(), (1 + 4) / 2)
+        check_gradients(lambda: mse_loss(predictions, np.array([2.0, 1.0])), [predictions])
+
+
+class TestOptimizers:
+    def _quadratic(self):
+        return Parameter(np.array([5.0, -3.0]))
+
+    def test_sgd_converges_on_quadratic(self):
+        p = self._quadratic()
+        optimizer = SGD([p], learning_rate=0.1, momentum=0.5)
+        for _ in range(200):
+            optimizer.zero_grad()
+            ((p * p).sum()).backward()
+            optimizer.step()
+        assert np.allclose(p.data, 0.0, atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        p = self._quadratic()
+        optimizer = Adam([p], learning_rate=0.2)
+        for _ in range(300):
+            optimizer.zero_grad()
+            ((p * p).sum()).backward()
+            optimizer.step()
+        assert np.allclose(p.data, 0.0, atol=1e-2)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        optimizer = SGD([p], learning_rate=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (p * 0.0).sum().backward()
+        optimizer.step()
+        assert p.data[0] < 1.0
+
+    def test_clip_gradients(self):
+        p = Parameter(np.array([1.0, 1.0]))
+        optimizer = SGD([p], learning_rate=0.1)
+        (p * 100.0).sum().backward()
+        norm = optimizer.clip_gradients(1.0)
+        assert norm > 1.0
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], learning_rate=0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], learning_rate=-1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], learning_rate=0.1, momentum=1.5)
+
+
+class _ToyDataset:
+    """Linearly separable 2-class problem."""
+
+    def __init__(self, n=128, seed=0):
+        rng = np.random.default_rng(seed)
+        self.x = rng.normal(size=(n, 2))
+        self.y = (self.x[:, 0] + self.x[:, 1] > 0).astype(np.int64)
+
+    def __len__(self):
+        return len(self.x)
+
+    def get_batch(self, indices):
+        return {"x": self.x[indices], "y": self.y[indices]}
+
+
+class _ToyModel(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        self.layer = Dense(2, 2, rng=np.random.default_rng(seed))
+
+    def compute_loss(self, batch):
+        logits = self.layer(Tensor(batch["x"]))
+        loss = softmax_cross_entropy(logits, batch["y"])
+        accuracy = float((logits.data.argmax(axis=1) == batch["y"]).mean())
+        return loss, {"accuracy": accuracy}
+
+
+class TestTrainer:
+    def test_iterate_minibatches_covers_everything(self):
+        batches = list(iterate_minibatches(10, 3, shuffle=False))
+        assert sum(len(b) for b in batches) == 10
+        assert sorted(np.concatenate(batches)) == list(range(10))
+
+    def test_iterate_minibatches_validation(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(10, 0))
+        assert list(iterate_minibatches(0, 4)) == []
+
+    def test_trainer_learns_toy_problem(self):
+        dataset = _ToyDataset()
+        model = _ToyModel()
+        trainer = Trainer(model, Adam(model.parameters(), learning_rate=0.05))
+        history = trainer.fit(dataset, epochs=20, batch_size=32, validation=_ToyDataset(seed=1))
+        assert history.epochs == 20
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert history.val_metrics[-1]["accuracy"] > 0.9
+
+    def test_history_helpers(self):
+        history = TrainingHistory(
+            train_loss=[1.0, 0.5],
+            train_metrics=[{"accuracy": 0.5}, {"accuracy": 0.8}],
+            val_metrics=[{"accuracy": 0.4}, {"accuracy": 0.7}],
+        )
+        assert history.last()["val_accuracy"] == 0.7
+        assert history.metric_series("accuracy", split="val") == [0.4, 0.7]
+        assert history.metric_series("accuracy", split="train") == [0.5, 0.8]
+
+    def test_evaluate_does_not_change_parameters(self):
+        dataset = _ToyDataset()
+        model = _ToyModel()
+        trainer = Trainer(model, Adam(model.parameters(), learning_rate=0.05))
+        before = [p.data.copy() for p in model.parameters()]
+        trainer.evaluate(dataset, batch_size=32)
+        after = [p.data.copy() for p in model.parameters()]
+        assert all(np.allclose(a, b) for a, b in zip(before, after))
