@@ -1,0 +1,155 @@
+"""Execution-engine throughput: interpreted vs compiled vs compiled+cached.
+
+Phase 2 spends essentially all of its time executing candidate programs,
+so candidates/second through the execution layer bounds end-to-end search
+throughput.  This benchmark replays a GA-shaped workload — a pool of
+distinct genes evaluated repeatedly across generations (solution check +
+fitness scoring re-executions) — through the three execution strategies:
+
+* **interpreted** — the seed implementation: reference interpreter with a
+  backwards type-scan per argument, no reuse;
+* **compiled**    — compile-once static argument binding
+  (:mod:`repro.dsl.compiler`), no reuse;
+* **compiled+cached** — the :class:`~repro.execution.ExecutionEngine`
+  used by the GA engine and fitness functions, which memoizes executions
+  per (program, io_set).
+
+Results (candidates/sec, speedups, cache hit-rate) are appended to
+``BENCH_execution_throughput.json`` at the repository root so the
+trajectory across PRs is preserved.
+
+Scale knobs: ``NETSYN_BENCH_PROGRAMS`` (distinct genes, default 60),
+``NETSYN_BENCH_ROUNDS`` (re-evaluations per gene, default 5).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dsl import Interpreter, Program, clear_compile_cache
+from repro.data import make_synthesis_task
+from repro.execution import ExecutionEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_execution_throughput.json"
+
+N_PROGRAMS = int(os.environ.get("NETSYN_BENCH_PROGRAMS", "60"))
+N_ROUNDS = int(os.environ.get("NETSYN_BENCH_ROUNDS", "5"))
+PROGRAM_LENGTH = 5
+
+
+def _workload(seed: int = 17):
+    """A GA-shaped workload: distinct genes + an IO specification."""
+    rng = np.random.default_rng(seed)
+    programs = [
+        Program([int(fid) for fid in rng.integers(1, 42, size=PROGRAM_LENGTH)])
+        for _ in range(N_PROGRAMS)
+    ]
+    task = make_synthesis_task(length=PROGRAM_LENGTH, seed=seed)
+    return programs, task.io_set
+
+
+def _time_strategy(evaluate, programs, io_set) -> tuple:
+    """Total candidate evaluations per second for one strategy."""
+    start = time.perf_counter()
+    checksum = 0
+    for _ in range(N_ROUNDS):
+        for program in programs:
+            outputs = evaluate(program, io_set)
+            checksum += len(outputs)
+    elapsed = time.perf_counter() - start
+    candidates = N_PROGRAMS * N_ROUNDS
+    return candidates / elapsed, elapsed, checksum
+
+
+def _append_trajectory(record: dict) -> None:
+    history = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_execution_throughput_compiled_and_cached():
+    programs, io_set = _workload()
+
+    # -- interpreted (seed behaviour): reference interpreter, no reuse ----
+    reference = Interpreter(trace=False, compiled=False)
+
+    def interpreted(program, io_set):
+        return [reference.output_of(program, example.inputs) for example in io_set]
+
+    interpreted_rate, interpreted_s, check_a = _time_strategy(interpreted, programs, io_set)
+
+    # -- compiled: static argument binding, fresh compile cache -----------
+    clear_compile_cache()
+    fast = Interpreter(trace=False, compiled=True)
+
+    def compiled(program, io_set):
+        return [fast.output_of(program, example.inputs) for example in io_set]
+
+    compiled_rate, compiled_s, check_b = _time_strategy(compiled, programs, io_set)
+
+    # -- compiled + cached: the shared execution engine --------------------
+    clear_compile_cache()
+    engine = ExecutionEngine()
+
+    def cached(program, io_set):
+        return engine.outputs(program, io_set)
+
+    cached_rate, cached_s, check_c = _time_strategy(cached, programs, io_set)
+
+    assert check_a == check_b == check_c, "strategies must evaluate identical workloads"
+
+    compiled_speedup = compiled_rate / interpreted_rate
+    cached_speedup = cached_rate / interpreted_rate
+    hit_rate = engine.stats.hit_rate
+
+    print(
+        f"\nExecution throughput ({N_PROGRAMS} genes x {N_ROUNDS} rounds x "
+        f"{len(io_set)} examples, length {PROGRAM_LENGTH})"
+    )
+    print(f"  interpreted     : {interpreted_rate:10.0f} candidates/sec  ({interpreted_s:.3f}s)")
+    print(
+        f"  compiled        : {compiled_rate:10.0f} candidates/sec  "
+        f"({compiled_s:.3f}s, {compiled_speedup:.2f}x)"
+    )
+    print(
+        f"  compiled+cached : {cached_rate:10.0f} candidates/sec  "
+        f"({cached_s:.3f}s, {cached_speedup:.2f}x, hit-rate {hit_rate:.2f})"
+    )
+
+    _append_trajectory(
+        {
+            "benchmark": "execution_throughput",
+            "n_programs": N_PROGRAMS,
+            "n_rounds": N_ROUNDS,
+            "n_examples": len(io_set),
+            "program_length": PROGRAM_LENGTH,
+            "interpreted_candidates_per_sec": interpreted_rate,
+            "compiled_candidates_per_sec": compiled_rate,
+            "cached_candidates_per_sec": cached_rate,
+            "compiled_speedup": compiled_speedup,
+            "cached_speedup": cached_speedup,
+            "cache_hit_rate": hit_rate,
+        }
+    )
+
+    # the GA re-evaluates survivors every generation, so the cache sees
+    # (rounds - 1) / rounds of the workload again: hit-rate must reflect it
+    assert hit_rate >= (N_ROUNDS - 1) / N_ROUNDS - 0.05
+    # acceptance: compiled+cached execution is >= 3x the seed interpreter
+    assert cached_speedup >= 3.0, (
+        f"compiled+cached speedup {cached_speedup:.2f}x below the 3x target "
+        f"(interpreted {interpreted_rate:.0f}/s vs cached {cached_rate:.0f}/s)"
+    )

@@ -25,6 +25,7 @@ from repro.core.result import SynthesisResult
 from repro.dsl.equivalence import IOSet
 from repro.dsl.interpreter import Interpreter
 from repro.dsl.program import Program
+from repro.execution import ExecutionEngine
 from repro.fitness.base import FitnessFunction
 from repro.fitness.functions import (
     EditDistanceFitness,
@@ -126,8 +127,17 @@ class NetSyn:
         return self
 
     # ------------------------------------------------------------------
-    def build_fitness(self, target: Optional[Program] = None) -> FitnessFunction:
-        """Construct the fitness function configured for Phase 2."""
+    def build_fitness(
+        self,
+        target: Optional[Program] = None,
+        executor: Optional[ExecutionEngine] = None,
+    ) -> FitnessFunction:
+        """Construct the fitness function configured for Phase 2.
+
+        ``executor`` is the run's shared execution engine; passing it lets
+        the fitness reuse executions cached by the GA's solution check
+        (and vice versa).
+        """
         kind = self.config.fitness_kind
         if kind in ("cf", "lcs"):
             if self._trace_artifacts is None:
@@ -136,25 +146,30 @@ class NetSyn:
                 self._trace_artifacts.model,
                 kind=kind,
                 encoder=self._trace_artifacts.encoder,
+                executor=executor,
             )
         if kind == "fp":
             if self._fp_artifacts is None:
                 raise RuntimeError("call fit() before synthesize(): the FP model is untrained")
             return ProbabilityMapFitness(
-                self._fp_artifacts.model, encoder=self._fp_artifacts.encoder
+                self._fp_artifacts.model, encoder=self._fp_artifacts.encoder, executor=executor
             )
         if kind == "edit":
-            return EditDistanceFitness()
+            return EditDistanceFitness(executor=executor)
         if kind in ("oracle_cf", "oracle_lcs"):
             if target is None:
                 raise ValueError("oracle fitness requires the target program")
-            return OracleFitness(target, kind=kind.split("_", 1)[1])
+            return OracleFitness(target, kind=kind.split("_", 1)[1], executor=executor)
         raise ValueError(f"unknown fitness kind {kind!r}")
 
-    def _fp_fitness_for_mutation(self) -> Optional[ProbabilityMapFitness]:
+    def _fp_fitness_for_mutation(
+        self, executor: Optional[ExecutionEngine] = None
+    ) -> Optional[ProbabilityMapFitness]:
         if not self.config.fp_guided_mutation or self._fp_artifacts is None:
             return None
-        return ProbabilityMapFitness(self._fp_artifacts.model, encoder=self._fp_artifacts.encoder)
+        return ProbabilityMapFitness(
+            self._fp_artifacts.model, encoder=self._fp_artifacts.encoder, executor=executor
+        )
 
     # ------------------------------------------------------------------
     def synthesize(
@@ -186,8 +201,12 @@ class NetSyn:
         budget = budget or SearchBudget(limit=cfg.max_search_space)
         run_factory = self._factory if seed is None else RngFactory(seed)
 
-        fitness = self.build_fitness(target=target)
-        fp_fitness = self._fp_fitness_for_mutation()
+        # One execution engine per run: the GA solution check, every
+        # fitness evaluation and the neighborhood search share its cache,
+        # so each candidate is interpreted at most once per specification.
+        executor = ExecutionEngine()
+        fitness = self.build_fitness(target=target, executor=executor)
+        fp_fitness = self._fp_fitness_for_mutation(executor=executor)
 
         operators = GeneOperators(
             program_length=cfg.program_length,
@@ -199,6 +218,7 @@ class NetSyn:
                 config=cfg.neighborhood,
                 fitness=fitness,
                 interpreter=Interpreter(trace=False),
+                executor=executor,
             )
 
         # When FP mutation is enabled but the main fitness cannot provide a
@@ -215,6 +235,7 @@ class NetSyn:
             fp_guided_mutation=cfg.fp_guided_mutation,
             rng=run_factory.get("engine"),
             interpreter=Interpreter(trace=False),
+            executor=executor,
         )
 
         with Stopwatch() as stopwatch:
@@ -243,6 +264,7 @@ class _WithProbabilityMap(FitnessFunction):
         self.primary = primary
         self.fp_fitness = fp_fitness
         self.name = primary.name
+        self.provides_mutation_scores = getattr(primary, "provides_mutation_scores", False)
 
     def score(self, programs, io_set):
         return self.primary.score(programs, io_set)

@@ -32,6 +32,13 @@ from repro.dsl.functions import (
 )
 from repro.dsl.program import Program
 from repro.dsl.interpreter import ExecutionTrace, Interpreter, StepRecord
+from repro.dsl.compiler import (
+    CompiledProgram,
+    clear_compile_cache,
+    compile_cache_size,
+    compile_program,
+    input_signature,
+)
 from repro.dsl.dce import eliminate_dead_code, effective_length, has_dead_code
 from repro.dsl.generator import ProgramGenerator, InputGenerator
 from repro.dsl.equivalence import (
@@ -66,6 +73,11 @@ __all__ = [
     "ExecutionTrace",
     "Interpreter",
     "StepRecord",
+    "CompiledProgram",
+    "clear_compile_cache",
+    "compile_cache_size",
+    "compile_program",
+    "input_signature",
     "eliminate_dead_code",
     "effective_length",
     "has_dead_code",

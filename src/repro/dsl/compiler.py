@@ -1,0 +1,230 @@
+"""Compile-once execution of DSL programs.
+
+The interpreter resolves every argument of every call by scanning
+backwards through the value history for the most recent value of the
+required type (:meth:`repro.dsl.interpreter.Interpreter._resolve_arguments`).
+Because each DSL function's return type and argument types are static,
+the *position* each argument binds to depends only on the program's
+function-id sequence and the types of the inputs — never on the runtime
+values themselves.  A :class:`CompiledProgram` therefore precomputes, for
+every step, the history slot each argument reads from (or the default
+value to use when no slot of the required type exists), reducing
+execution to a flat loop of indexed loads and calls.
+
+Compilation is memoized per ``(function ids, input type signature,
+registry)`` in a bounded module-level cache, so the GA — which executes
+each candidate on several IO examples sharing one signature — compiles
+each gene exactly once.
+
+The reference interpreter stays the source of truth for the semantics;
+``tests/test_execution_engine.py`` checks both paths agree (outputs and
+full traces) on hundreds of random programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dsl.functions import DSLFunction, FunctionRegistry
+from repro.dsl.interpreter import ExecutionTrace, StepRecord
+from repro.dsl.program import Program
+from repro.dsl.types import DSLType, Value, default_for, type_of
+
+#: A type signature of program inputs, e.g. ``(DSLType.LIST,)``.
+InputSignature = Tuple[DSLType, ...]
+
+#: Sentinel default used in bindings: ``-1`` means "no slot, use default".
+_NO_SLOT = -1
+
+
+def input_signature(inputs: Sequence[Value]) -> InputSignature:
+    """The type signature of a concrete input tuple."""
+    return tuple(type_of(v) for v in inputs)
+
+
+def normalize_inputs(inputs: Sequence[Value]) -> List[Value]:
+    """Normalize inputs exactly like the reference interpreter does."""
+    normalized: List[Value] = []
+    for value in inputs:
+        if type_of(value) is DSLType.LIST:
+            normalized.append([int(v) for v in value])
+        else:
+            normalized.append(int(value))
+    return normalized
+
+
+class CompiledStep:
+    """One statement with its argument bindings resolved at compile time.
+
+    ``bindings[k]`` is the history index argument ``k`` reads from, or
+    ``-1`` when no value of the required type exists at this point, in
+    which case ``defaults[k]`` supplies the value (``0`` for ints; ``None``
+    marks "fresh empty list" so executions never share a mutable default).
+    """
+
+    __slots__ = ("index", "fid", "name", "impl", "bindings", "defaults")
+
+    def __init__(
+        self,
+        index: int,
+        fn: DSLFunction,
+        bindings: Tuple[int, ...],
+        defaults: Tuple[Optional[int], ...],
+    ) -> None:
+        self.index = index
+        self.fid = fn.fid
+        self.name = fn.name
+        self.impl = fn.impl
+        self.bindings = bindings
+        self.defaults = defaults
+
+
+class CompiledProgram:
+    """A program whose argument bindings have been resolved statically.
+
+    Instances are specific to one input type signature; obtain them via
+    :func:`compile_program`, which caches compilations.
+    """
+
+    __slots__ = ("program", "signature", "steps", "registry")
+
+    def __init__(self, program: Program, signature: InputSignature) -> None:
+        self.program = program
+        self.signature = signature
+        self.registry: FunctionRegistry = program.registry
+        self.steps: Tuple[CompiledStep, ...] = self._bind(program, signature)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bind(program: Program, signature: InputSignature) -> Tuple[CompiledStep, ...]:
+        """Simulate the backwards type-scan over the static type history."""
+        type_history: List[DSLType] = list(signature)
+        steps: List[CompiledStep] = []
+        for index, fid in enumerate(program.function_ids):
+            fn = program.registry.by_id(fid)
+            used: set = set()
+            bindings: List[int] = []
+            defaults: List[Optional[int]] = []
+            for arg_type in fn.arg_types:
+                position = None
+                for slot in range(len(type_history) - 1, -1, -1):
+                    if slot in used:
+                        continue
+                    if type_history[slot] is arg_type:
+                        position = slot
+                        break
+                if position is None:
+                    bindings.append(_NO_SLOT)
+                    defaults.append(0 if arg_type is DSLType.INT else None)
+                else:
+                    used.add(position)
+                    bindings.append(position)
+                    defaults.append(0)
+            steps.append(CompiledStep(index, fn, tuple(bindings), tuple(defaults)))
+            type_history.append(fn.return_type)
+        return tuple(steps)
+
+    # ------------------------------------------------------------------
+    def output(self, inputs: Sequence[Value]) -> Value:
+        """Final output only — the hot path for solution checks."""
+        history = normalize_inputs(inputs)
+        append = history.append
+        out: Value = default_for(DSLType.INT)
+        for step in self.steps:
+            bindings = step.bindings
+            if len(bindings) == 1:
+                b0 = bindings[0]
+                a0 = history[b0] if b0 >= 0 else (step.defaults[0] if step.defaults[0] is not None else [])
+                out = step.impl(a0)
+            else:
+                b0, b1 = bindings
+                a0 = history[b0] if b0 >= 0 else (step.defaults[0] if step.defaults[0] is not None else [])
+                a1 = history[b1] if b1 >= 0 else (step.defaults[1] if step.defaults[1] is not None else [])
+                out = step.impl(a0, a1)
+            append(out)
+        return out
+
+    def run(self, inputs: Sequence[Value], trace: bool = True) -> ExecutionTrace:
+        """Execute and return an :class:`ExecutionTrace`.
+
+        With ``trace=True`` the trace carries one :class:`StepRecord` per
+        statement, matching the reference interpreter field for field;
+        with ``trace=False`` only ``inputs`` and ``output`` are filled in.
+        """
+        normalized = normalize_inputs(inputs)
+        result = ExecutionTrace(inputs=tuple(normalized))
+        if not trace:
+            result.output = self.output(inputs)
+            return result
+
+        history: List[Value] = list(normalized)
+        out: Value = default_for(DSLType.INT)
+        records = result.steps
+        for step in self.steps:
+            args = tuple(
+                history[b] if b >= 0 else (d if d is not None else [])
+                for b, d in zip(step.bindings, step.defaults)
+            )
+            out = step.impl(*args)
+            history.append(out)
+            records.append(
+                StepRecord(index=step.index, fid=step.fid, name=step.name, args=args, output=out)
+            )
+        result.output = out
+        return result
+
+    def intermediate_outputs(self, inputs: Sequence[Value]) -> List[Value]:
+        """The per-statement outputs ``t_1 .. t_n`` without StepRecords."""
+        history = normalize_inputs(inputs)
+        n_inputs = len(history)
+        for step in self.steps:
+            args = tuple(
+                history[b] if b >= 0 else (d if d is not None else [])
+                for b, d in zip(step.bindings, step.defaults)
+            )
+            history.append(step.impl(*args))
+        return history[n_inputs:]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+# ---------------------------------------------------------------------------
+# Module-level compilation cache
+# ---------------------------------------------------------------------------
+
+#: Bound on the number of cached compilations; oldest entries are evicted
+#: first (dict preserves insertion order).
+COMPILE_CACHE_MAX = 65_536
+
+_compile_cache: Dict[Tuple, CompiledProgram] = {}
+
+
+def compile_program(program: Program, signature: InputSignature) -> CompiledProgram:
+    """Compile ``program`` for ``signature``, memoizing the result.
+
+    The cache key includes the registry's identity: the compiled steps
+    hold references to the registry's function implementations, which
+    also keeps the registry alive for the lifetime of the entry.
+    """
+    key = (program.function_ids, signature, id(program.registry))
+    cached = _compile_cache.get(key)
+    if cached is not None:
+        return cached
+    compiled = CompiledProgram(program, signature)
+    if len(_compile_cache) >= COMPILE_CACHE_MAX:
+        # evict the oldest ~25% in one sweep to amortize the cost
+        for stale in list(_compile_cache)[: COMPILE_CACHE_MAX // 4]:
+            del _compile_cache[stale]
+    _compile_cache[key] = compiled
+    return compiled
+
+
+def compile_cache_size() -> int:
+    """Number of compilations currently cached."""
+    return len(_compile_cache)
+
+
+def clear_compile_cache() -> None:
+    """Drop all cached compilations (used by benchmarks and tests)."""
+    _compile_cache.clear()

@@ -102,6 +102,17 @@ class DSLFunction:
     def __call__(self, *args: Value) -> Value:
         return self.impl(*args)
 
+    def __reduce__(self):
+        """Pickle as a reference into the default registry.
+
+        The implementations are closures over lambdas and cannot be
+        pickled directly; since every function instance originates from
+        the master catalog, serializing the ``fid`` is lossless.  This is
+        what lets programs, tasks and trained synthesizers cross process
+        boundaries in the parallel evaluation runner.
+        """
+        return (_function_from_default_registry, (self.fid,))
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
 
@@ -366,6 +377,27 @@ class FunctionRegistry:
     def index_of(self, fid: int) -> int:
         """0-based dense index of a function id (used for one-hot encodings)."""
         return fid - 1
+
+    def __reduce__(self):
+        """Pickle as the id subset, rebuilt against the default catalog.
+
+        The default :data:`REGISTRY` unpickles to the shared singleton,
+        so identity checks (``registry is REGISTRY``) keep working after
+        a round-trip within one process.
+        """
+        return (_registry_from_ids, (self.ids,))
+
+
+def _function_from_default_registry(fid: int) -> DSLFunction:
+    """Unpickle helper: resolve a function id against the default registry."""
+    return REGISTRY.by_id(fid)
+
+
+def _registry_from_ids(ids: Tuple[int, ...]) -> "FunctionRegistry":
+    """Unpickle helper: rebuild a registry from a function-id subset."""
+    if ids == REGISTRY.ids:
+        return REGISTRY
+    return FunctionRegistry([REGISTRY.by_id(fid) for fid in ids])
 
 
 #: The default, shared registry of the paper's 41 functions.

@@ -10,6 +10,13 @@ list for ``[int]``).
 
 The interpreter is total: any sequence of DSL functions executes without
 raising, which mirrors the paper's "valid by construction" property.
+
+Execution normally delegates to :mod:`repro.dsl.compiler`, which resolves
+the argument bindings once per (program, input signature) instead of
+re-scanning the value history on every step; construct
+``Interpreter(compiled=False)`` to force the reference implementation
+(:meth:`Interpreter.run_reference`), which remains the specification the
+compiler is tested against.
 """
 
 from __future__ import annotations
@@ -20,6 +27,13 @@ from typing import List, Optional, Sequence, Tuple
 from repro.dsl.functions import DSLFunction
 from repro.dsl.program import Program
 from repro.dsl.types import DSLType, Value, default_for, type_of
+
+
+def _compiler_module():
+    """Deferred import: the compiler imports trace types from this module."""
+    from repro.dsl import compiler
+
+    return compiler
 
 
 @dataclass(frozen=True)
@@ -67,10 +81,27 @@ class ExecutionTrace:
 
 
 class Interpreter:
-    """Executes DSL programs and records execution traces."""
+    """Executes DSL programs and records execution traces.
 
-    def __init__(self, trace: bool = True) -> None:
+    Parameters
+    ----------
+    trace:
+        When False, :meth:`run` skips building per-step records entirely
+        and only reports the final output.
+    compiled:
+        When True (the default), execution goes through the statically
+        bound :class:`~repro.dsl.compiler.CompiledProgram` path; when
+        False, the reference backwards-type-scan implementation is used.
+    """
+
+    def __init__(self, trace: bool = True, compiled: bool = True) -> None:
         self._trace = trace
+        self._compiled = compiled
+
+    @property
+    def compiled(self) -> bool:
+        """Whether this interpreter uses the compiled execution path."""
+        return self._compiled
 
     # ------------------------------------------------------------------
     def run(self, program: Program, inputs: Sequence[Value]) -> ExecutionTrace:
@@ -82,6 +113,19 @@ class Interpreter:
             The program to run.
         inputs:
             Program inputs; each element is an ``int`` or a list of ints.
+        """
+        if self._compiled:
+            compiler = _compiler_module()
+            compiled = compiler.compile_program(program, compiler.input_signature(inputs))
+            return compiled.run(inputs, trace=self._trace)
+        return self.run_reference(program, inputs)
+
+    def run_reference(self, program: Program, inputs: Sequence[Value]) -> ExecutionTrace:
+        """Reference implementation: resolve arguments by backwards scan.
+
+        This is the executable specification of the DSL semantics; the
+        compiled path must match it output-for-output and (when tracing)
+        step-for-step.
         """
         normalized: List[Value] = [self._normalize(v) for v in inputs]
         trace = ExecutionTrace(inputs=tuple(normalized))
@@ -101,10 +145,6 @@ class Interpreter:
                 trace.steps.append(
                     StepRecord(index=index, fid=fid, name=fn.name, args=tuple(args), output=output)
                 )
-            elif index == len(program) - 1:
-                trace.steps.append(
-                    StepRecord(index=index, fid=fid, name=fn.name, args=tuple(args), output=output)
-                )
 
         if last_output is None:
             # Empty program: output is the default integer (matches the DSL's
@@ -118,7 +158,11 @@ class Interpreter:
 
     def output_of(self, program: Program, inputs: Sequence[Value]) -> Value:
         """Execute ``program`` and return only its final output."""
-        return self.run(program, inputs).output
+        if self._compiled:
+            compiler = _compiler_module()
+            compiled = compiler.compile_program(program, compiler.input_signature(inputs))
+            return compiled.output(inputs)
+        return self.run_reference(program, inputs).output
 
     # ------------------------------------------------------------------
     @staticmethod

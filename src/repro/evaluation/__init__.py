@@ -23,7 +23,13 @@ from repro.evaluation.metrics import (
     time_percentiles,
 )
 from repro.evaluation.confusion import confusion_matrix, confusion_from_model
-from repro.evaluation.runner import EvaluationRunner, EvaluationReport, AblationRunner, AblationRow
+from repro.evaluation.runner import (
+    AblationRow,
+    AblationRunner,
+    EvaluationReport,
+    EvaluationRunner,
+    ParallelTaskRunner,
+)
 from repro.evaluation.tables import format_percentile_table, format_ablation_table
 from repro.evaluation.figures import (
     fig4_search_space_series,
@@ -47,6 +53,7 @@ __all__ = [
     "confusion_from_model",
     "EvaluationRunner",
     "EvaluationReport",
+    "ParallelTaskRunner",
     "AblationRunner",
     "AblationRow",
     "format_percentile_table",

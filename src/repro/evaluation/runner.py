@@ -1,9 +1,19 @@
-"""Experiment runners: the full method comparison and the Table-2 ablation."""
+"""Experiment runners: the full method comparison and the Table-2 ablation.
+
+The method comparison can fan its (method, length, task, run) grid out
+over multiprocessing workers via :class:`ParallelTaskRunner`.  Every
+synthesis attempt is seeded explicitly — the seed is a deterministic
+function of the experiment seed and the run index, never of the worker —
+so the parallel report is byte-identical to the serial one regardless of
+worker count or scheduling.
+"""
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +37,115 @@ from repro.utils.logging import get_logger
 from repro.utils.serialization import save_json
 
 logger = get_logger("evaluation.runner")
+
+
+# ---------------------------------------------------------------------------
+# Parallel task execution
+# ---------------------------------------------------------------------------
+
+#: Per-process state installed by the pool initializer (under ``fork``
+#: the context is inherited; under ``spawn`` it travels via pickling,
+#: which the DSL layer supports — see ``DSLFunction.__reduce__``).
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _parallel_worker_init(seed: int, payload: Any) -> None:
+    """Initialize one worker: seed its RNGs and stash the shared payload.
+
+    The global numpy RNG is seeded per worker (mixed with the PID) as a
+    safety net for any library code that touches it; all repo components
+    draw from explicitly seeded generators, which is what actually makes
+    parallel results byte-identical to serial ones.
+    """
+    np.random.seed((int(seed) * 1_000_003 + os.getpid()) % (2**32))
+    _WORKER_STATE["payload"] = payload
+
+
+class ParallelTaskRunner:
+    """Order-preserving map over a pool of multiprocessing workers.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker processes; ``<= 1`` degrades to a serial map in
+        the calling process (no pool, no pickling).
+    seed:
+        Base seed for the per-worker RNG initialization.
+    payload:
+        Arbitrary object made available to jobs via
+        :func:`worker_payload` (e.g. the trained-model context), shipped
+        to each worker exactly once instead of once per job.
+    """
+
+    def __init__(self, n_workers: int = 1, seed: int = 0, payload: Any = None) -> None:
+        self.n_workers = int(n_workers)
+        self.seed = int(seed)
+        self.payload = payload
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every item, preserving input order.
+
+        ``fn`` and the items must be picklable (module-level function,
+        structural arguments) when ``n_workers > 1``.
+        """
+        items = list(items)
+        if self.n_workers <= 1 or len(items) <= 1:
+            _WORKER_STATE["payload"] = self.payload
+            try:
+                return [fn(item) for item in items]
+            finally:
+                _WORKER_STATE.pop("payload", None)
+        context = multiprocessing.get_context()
+        with context.Pool(
+            processes=min(self.n_workers, len(items)),
+            initializer=_parallel_worker_init,
+            initargs=(self.seed, self.payload),
+        ) as pool:
+            return pool.map(fn, items)
+
+
+def worker_payload() -> Any:
+    """The payload the current :class:`ParallelTaskRunner` distributed."""
+    return _WORKER_STATE.get("payload")
+
+
+#: One cell of the evaluation grid, in serial iteration order.
+_EvalJob = Tuple[str, int, Any, int, int, int]
+
+
+_SYNTH_CACHE: Dict[Tuple[str, int], Any] = {}
+
+
+def _run_evaluation_job(job: _EvalJob) -> RunRecord:
+    """Execute one (method, length, task, run) cell of the grid.
+
+    Synthesizers are built lazily per worker and cached per (method,
+    length), mirroring the serial loop which builds one synthesizer per
+    method × length and reuses it across tasks and runs.
+    """
+    method, length, task, run_index, seed, budget_limit = job
+    context = worker_payload()
+    if _SYNTH_CACHE.get("__context__") is not context:
+        # a different context (new models, or a fallback run in the parent
+        # process) invalidates every cached synthesizer
+        _SYNTH_CACHE.clear()
+        _SYNTH_CACHE["__context__"] = context
+    key = (method, length)
+    synthesizer = _SYNTH_CACHE.get(key)
+    if synthesizer is None:
+        synthesizer = build_synthesizer(method, context, program_length=length)
+        _SYNTH_CACHE[key] = synthesizer
+    budget = SearchBudget(limit=budget_limit)
+    result = synthesizer.synthesize(task, budget=budget, seed=seed)
+    return RunRecord(
+        method=method,
+        length=length,
+        task_id=task.task_id,
+        run_index=run_index,
+        result=result,
+        is_singleton=task.is_singleton,
+        target_function_ids=tuple(task.target.function_ids),
+    )
 
 
 @dataclass
@@ -67,12 +186,14 @@ class EvaluationRunner:
         base_config: Optional[NetSynConfig] = None,
         context: Optional[SynthesizerContext] = None,
         verbose: bool = False,
+        n_workers: int = 1,
     ) -> None:
         self.experiment = (experiment or ExperimentConfig()).scaled()
         self.experiment.validate()
         self.base_config = base_config or NetSynConfig.small()
         self.base_config.validate()
         self.verbose = verbose
+        self.n_workers = int(n_workers)
         self._context = context
 
     # ------------------------------------------------------------------
@@ -96,9 +217,39 @@ class EvaluationRunner:
         )
 
     # ------------------------------------------------------------------
+    def _jobs(self) -> List[_EvalJob]:
+        """The full evaluation grid, in serial iteration order.
+
+        The per-run seed depends only on the experiment seed and the run
+        index, so any assignment of jobs to workers reproduces the same
+        records.
+        """
+        jobs: List[_EvalJob] = []
+        for length in self.experiment.lengths:
+            suite = self.build_suite(length)
+            for method in self.experiment.methods:
+                for task in suite:
+                    for run_index in range(self.experiment.n_runs):
+                        seed = self.experiment.seed * 10_007 + run_index
+                        jobs.append(
+                            (method, length, task, run_index, seed, self.experiment.max_search_space)
+                        )
+        return jobs
+
     def run(self) -> EvaluationReport:
-        """Execute every (method, length, task, run) combination."""
+        """Execute every (method, length, task, run) combination.
+
+        With ``n_workers > 1`` the grid is fanned out over worker
+        processes; the records (and their order) are identical to a
+        serial run.
+        """
         report = EvaluationReport(experiment=self.experiment)
+        if self.n_workers > 1:
+            runner = ParallelTaskRunner(
+                n_workers=self.n_workers, seed=self.experiment.seed, payload=self.context
+            )
+            report.records.extend(runner.map(_run_evaluation_job, self._jobs()))
+            return report
         for length in self.experiment.lengths:
             suite = self.build_suite(length)
             for method in self.experiment.methods:

@@ -1,0 +1,160 @@
+"""Cross-layer evaluation cache for candidate-program executions.
+
+Phase 2 of NetSyn evaluates the same candidate program on the same IO
+specification several times per generation: once for the solution check,
+once per fitness scoring, and again whenever the gene survives into the
+next generation (elitism, reproduction).  The :class:`EvaluationCache`
+memoizes those executions under **structural** keys so that
+
+* the solution check and fitness scoring share one execution, and
+* elite/survivor evaluations are reused across generations, and
+* keys are stable across worker processes (no reliance on Python's
+  process-salted ``hash()``), which makes cache contents shareable and
+  keeps parallel runs reproducible.
+
+The cache is namespaced (``"outputs"``, ``"traces"``, ``"solutions"``,
+``"score:<fitness>"`` …) so independent layers never collide, and bounded:
+when full, the oldest entries are evicted first (insertion order).  A
+``max_entries`` of 0 disables storage entirely, which is how the
+bit-identical cached-vs-uncached tests construct their baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.dsl.equivalence import IOSet
+from repro.dsl.program import Program
+from repro.dsl.types import Value
+
+_MISSING = object()
+
+
+def freeze_value(value: Value) -> Hashable:
+    """Hashable, structural form of a DSL value (lists become tuples)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(int(v) for v in value)
+    return int(value)
+
+
+def io_set_key(io_set: IOSet) -> Tuple:
+    """Stable structural key of an IO specification.
+
+    Unlike keys built from Python's builtin ``hash()`` (which is salted
+    per process for strings and can collide across objects), this key is
+    the full frozen structure of the examples: equal specifications map
+    to equal keys in every process, and distinct specifications map to
+    distinct keys.
+    """
+    return tuple(
+        (tuple(freeze_value(v) for v in example.inputs), freeze_value(example.output))
+        for example in io_set
+    )
+
+
+def program_key(program: Program) -> Tuple[int, ...]:
+    """Stable structural key of a program (its function-id sequence)."""
+    return program.function_ids
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`EvaluationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    by_namespace: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def record(self, namespace: str, hit: bool) -> None:
+        h, m = self.by_namespace.get(namespace, (0, 0))
+        if hit:
+            self.hits += 1
+            self.by_namespace[namespace] = (h + 1, m)
+        else:
+            self.misses += 1
+            self.by_namespace[namespace] = (h, m + 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+            "by_namespace": {k: {"hits": v[0], "misses": v[1]} for k, v in self.by_namespace.items()},
+        }
+
+
+class EvaluationCache:
+    """Bounded, namespaced memo store keyed by structural program/IO keys.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of entries held across all namespaces.  When the
+        bound is reached, the oldest quarter of the entries is evicted in
+        one sweep.  ``0`` disables caching (every ``get`` misses and
+        ``put`` is a no-op) — useful as an uncached control.
+    """
+
+    def __init__(self, max_entries: int = 200_000) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = int(max_entries)
+        self._store: Dict[Tuple[str, Hashable], Any] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def get(self, namespace: str, key: Hashable, default: Any = None) -> Any:
+        """Cached value for ``(namespace, key)`` or ``default`` on a miss."""
+        value = self._store.get((namespace, key), _MISSING)
+        hit = value is not _MISSING
+        self.stats.record(namespace, hit)
+        return value if hit else default
+
+    def peek(self, namespace: str, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` but without touching the hit/miss counters."""
+        value = self._store.get((namespace, key), _MISSING)
+        return default if value is _MISSING else value
+
+    def put(self, namespace: str, key: Hashable, value: Any) -> None:
+        """Store ``value``; evicts oldest entries when the bound is hit."""
+        if not self.enabled:
+            return
+        if len(self._store) >= self.max_entries and (namespace, key) not in self._store:
+            evict = max(1, self.max_entries // 4)
+            for stale in list(self._store)[:evict]:
+                del self._store[stale]
+            self.stats.evictions += evict
+        self._store[(namespace, key)] = value
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the stats object is preserved)."""
+        self._store.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EvaluationCache(entries={len(self._store)}, max={self.max_entries}, "
+            f"hit_rate={self.stats.hit_rate:.3f})"
+        )

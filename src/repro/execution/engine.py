@@ -1,0 +1,153 @@
+"""The execution engine: compiled, cached program evaluation.
+
+:class:`ExecutionEngine` is the single entry point the GA engine, the
+fitness functions and the neighborhood search use to execute candidate
+programs against an IO specification.  It combines
+
+* the compile-once execution path (:mod:`repro.dsl.compiler`), and
+* an :class:`~repro.execution.cache.EvaluationCache` memoizing outputs,
+  execution traces and solution verdicts per ``(program, io_set)``,
+
+so one candidate is interpreted at most once per specification no matter
+how many layers ask about it.  Traces subsume outputs: when a trace is
+already cached, outputs are derived from it instead of re-executing.
+
+All results are deterministic functions of ``(program, io_set)``, so
+caching never changes the semantics of a run — seeded GA runs are
+bit-identical with and without the cache (tested in
+``tests/test_execution_engine.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dsl.compiler import compile_program, input_signature
+from repro.dsl.equivalence import IOSet
+from repro.dsl.interpreter import ExecutionTrace
+from repro.dsl.program import Program
+from repro.dsl.types import Value, values_equal
+from repro.execution.cache import EvaluationCache, io_set_key, program_key
+
+#: cache namespaces
+_NS_OUTPUTS = "outputs"
+_NS_TRACES = "traces"
+_NS_SOLUTIONS = "solutions"
+
+
+class ExecutionEngine:
+    """Compiled + cached evaluation of programs against IO specifications.
+
+    Parameters
+    ----------
+    cache:
+        The shared :class:`EvaluationCache`; a fresh bounded cache is
+        created when omitted.  Pass ``EvaluationCache(max_entries=0)``
+        for an uncached engine (results are still compiled).
+    compiled:
+        When False, fall back to the reference interpreter for execution
+        (used to cross-check the compiled path).
+    """
+
+    def __init__(self, cache: Optional[EvaluationCache] = None, compiled: bool = True) -> None:
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.compiled = bool(compiled)
+        # identity-keyed memo of io_set -> structural key; a run touches a
+        # handful of specifications, each looked up thousands of times.
+        # Holding the io_set strongly pins its id, so ids cannot be reused.
+        self._io_key_memo: List[Tuple[IOSet, Tuple]] = []
+
+    # ------------------------------------------------------------------
+    def io_key(self, io_set: IOSet) -> Tuple:
+        """The structural key of ``io_set`` (exposed for fitness caches)."""
+        for seen, key in self._io_key_memo:
+            if seen is io_set:
+                return key
+        key = io_set_key(io_set)
+        if len(self._io_key_memo) >= 32:
+            del self._io_key_memo[0]
+        self._io_key_memo.append((io_set, key))
+        return key
+
+    # ------------------------------------------------------------------
+    def _execute_output(self, program: Program, inputs: Sequence[Value]) -> Value:
+        if self.compiled:
+            return compile_program(program, input_signature(inputs)).output(inputs)
+        from repro.dsl.interpreter import Interpreter
+
+        return Interpreter(trace=False, compiled=False).output_of(program, inputs)
+
+    def _execute_trace(self, program: Program, inputs: Sequence[Value]) -> ExecutionTrace:
+        if self.compiled:
+            return compile_program(program, input_signature(inputs)).run(inputs, trace=True)
+        from repro.dsl.interpreter import Interpreter
+
+        return Interpreter(trace=True, compiled=False).run(program, inputs)
+
+    # ------------------------------------------------------------------
+    def outputs(self, program: Program, io_set: IOSet, io_key: Optional[Tuple] = None) -> Tuple[Value, ...]:
+        """Final output of ``program`` on every example of ``io_set``."""
+        key = (program_key(program), self.io_key(io_set) if io_key is None else io_key)
+        cached = self.cache.get(_NS_OUTPUTS, key)
+        if cached is not None:
+            return cached
+        traces = self.cache.peek(_NS_TRACES, key)
+        if traces is not None:
+            outputs = tuple(trace.output for trace in traces)
+        else:
+            outputs = tuple(self._execute_output(program, example.inputs) for example in io_set)
+        self.cache.put(_NS_OUTPUTS, key, outputs)
+        return outputs
+
+    def traces(self, program: Program, io_set: IOSet, io_key: Optional[Tuple] = None) -> List[ExecutionTrace]:
+        """Full execution traces of ``program`` on every example."""
+        key = (program_key(program), self.io_key(io_set) if io_key is None else io_key)
+        cached = self.cache.get(_NS_TRACES, key)
+        if cached is not None:
+            return cached
+        traces = [self._execute_trace(program, example.inputs) for example in io_set]
+        self.cache.put(_NS_TRACES, key, traces)
+        return traces
+
+    def satisfies(self, program: Program, io_set: IOSet, io_key: Optional[Tuple] = None) -> bool:
+        """True when ``program`` reproduces every example of ``io_set``.
+
+        This is the GA's solution check; it shares the cached outputs
+        with fitness scoring, so checking a candidate that a fitness
+        function already executed costs one dictionary lookup.
+        """
+        resolved = self.io_key(io_set) if io_key is None else io_key
+        key = (program_key(program), resolved)
+        cached = self.cache.get(_NS_SOLUTIONS, key)
+        if cached is not None:
+            return cached
+        outputs = self.outputs(program, io_set, io_key=resolved)
+        verdict = all(
+            values_equal(output, example.output) for output, example in zip(outputs, io_set)
+        )
+        self.cache.put(_NS_SOLUTIONS, key, verdict)
+        return verdict
+
+    # ------------------------------------------------------------------
+    # generic per-(program, io_set) memo slots for the fitness layer
+    def get_cached(self, namespace: str, program: Program, io_key: Tuple):
+        """Fitness-layer memo lookup (``None`` on a miss)."""
+        return self.cache.get(namespace, (program_key(program), io_key))
+
+    def put_cached(self, namespace: str, program: Program, io_key: Tuple, value) -> None:
+        """Fitness-layer memo store."""
+        self.cache.put(namespace, (program_key(program), io_key), value)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """Hit/miss counters of the underlying cache."""
+        return self.cache.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExecutionEngine(compiled={self.compiled}, cache={self.cache!r})"
+
+
+def uncached_engine(compiled: bool = True) -> ExecutionEngine:
+    """An engine that never memoizes — the control for identity tests."""
+    return ExecutionEngine(cache=EvaluationCache(max_entries=0), compiled=compiled)

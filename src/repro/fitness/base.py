@@ -34,6 +34,13 @@ class FitnessFunction(abc.ABC):
     #: human-readable name used in experiment reports
     name: str = "fitness"
 
+    #: Whether :meth:`mutation_scores` can return anything but ``None``.
+    #: The GA engine skips the call entirely when this is False, saving a
+    #: per-mutation round-trip (and, for trace-based implementations, a
+    #: wasted trace collection).  Implementations that override
+    #: :meth:`mutation_scores` to return real scores must set this True.
+    provides_mutation_scores: bool = False
+
     @abc.abstractmethod
     def score(self, programs: Sequence[Program], io_set: IOSet) -> np.ndarray:
         """Fitness of each program in ``programs`` against ``io_set``."""

@@ -19,6 +19,7 @@ from repro.dsl.equivalence import IOSet
 from repro.dsl.functions import FunctionRegistry, REGISTRY
 from repro.dsl.interpreter import Interpreter
 from repro.dsl.program import Program
+from repro.execution import ExecutionEngine, io_set_key
 from repro.fitness.base import FitnessFunction
 from repro.fitness.features import FeatureEncoder, FitnessSample, sample_from_execution
 from repro.fitness.ideal import (
@@ -32,8 +33,13 @@ from repro.fitness.models import FunctionProbabilityModel, TraceFitnessModel
 
 
 def _io_set_key(io_set: IOSet) -> Tuple:
-    """Hashable key for an IO specification (used for caching)."""
-    return tuple(hash(example) for example in io_set)
+    """Hashable key for an IO specification (used for caching).
+
+    Delegates to the structural :func:`repro.execution.io_set_key`: the
+    key is the frozen content of the examples, not Python's process-salted
+    ``hash()``, so it is stable (and shareable) across worker processes.
+    """
+    return io_set_key(io_set)
 
 
 class LearnedTraceFitness(FitnessFunction):
@@ -51,6 +57,7 @@ class LearnedTraceFitness(FitnessFunction):
         encoder: Optional[FeatureEncoder] = None,
         interpreter: Optional[Interpreter] = None,
         batch_size: int = 128,
+        executor: Optional[ExecutionEngine] = None,
     ) -> None:
         if kind not in ("cf", "lcs"):
             raise ValueError("kind must be 'cf' or 'lcs'")
@@ -60,13 +67,31 @@ class LearnedTraceFitness(FitnessFunction):
         self.interpreter = interpreter or Interpreter()
         self.batch_size = int(batch_size)
         self.name = f"nnff_{kind}"
+        # a default engine honors the interpreter's execution mode
+        self.executor = executor or ExecutionEngine(compiled=self.interpreter.compiled)
 
     # ------------------------------------------------------------------
     def _samples_for(self, programs: Sequence[Program], io_set: IOSet) -> List[FitnessSample]:
+        """One :class:`FitnessSample` per program, trace-cached per spec.
+
+        Trace collection (interpreting the candidate on every example) is
+        the expensive part of NN-FF scoring; the shared executor memoizes
+        it, so elites re-scored in later generations — and candidates the
+        GA already executed for the solution check — cost one lookup.
+        The NN forward pass itself is *not* memoized: batch composition
+        stays exactly as in the uncached implementation, which keeps
+        seeded runs bit-identical (batched score memoization is tracked
+        as a ROADMAP open item).
+        """
+        io_key = self.executor.io_key(io_set)
         samples: List[FitnessSample] = []
         for program in programs:
-            traces = [self.interpreter.run(program, example.inputs) for example in io_set]
-            samples.append(sample_from_execution(program, io_set, traces))
+            sample = self.executor.get_cached("samples", program, io_key)
+            if sample is None:
+                traces = self.executor.traces(program, io_set, io_key=io_key)
+                sample = sample_from_execution(program, io_set, traces)
+                self.executor.put_cached("samples", program, io_key, sample)
+            samples.append(sample)
         return samples
 
     def score(self, programs: Sequence[Program], io_set: IOSet) -> np.ndarray:
@@ -103,17 +128,23 @@ class ProbabilityMapFitness(FitnessFunction):
         model: FunctionProbabilityModel,
         encoder: Optional[FeatureEncoder] = None,
         registry: FunctionRegistry = REGISTRY,
+        executor: Optional[ExecutionEngine] = None,
     ) -> None:
         self.model = model
         self.encoder = encoder or FeatureEncoder(registry=registry)
         self.registry = registry
         self.name = "nnff_fp"
+        self.executor = executor or ExecutionEngine()
+        # score cache namespace is model-specific: executors are shared
+        # across fitness instances, and two FP models must never read
+        # each other's cached scores
+        self._score_ns = f"score:nnff_fp:{id(self.model)}"
         self._cache: Dict[Tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def probability_map(self, io_set: IOSet) -> np.ndarray:
         """The predicted probability map for a specification (cached)."""
-        key = _io_set_key(io_set)
+        key = self.executor.io_key(io_set)
         if key not in self._cache:
             batch = self.encoder.encode_io_batch([io_set])
             self._cache[key] = self.model.predict_probability_map(batch)[0]
@@ -123,7 +154,15 @@ class ProbabilityMapFitness(FitnessFunction):
         if not programs:
             return np.zeros(0)
         prob_map = self.probability_map(io_set)
-        return np.array([fp_score(p, prob_map, self.registry) for p in programs])
+        io_key = self.executor.io_key(io_set)
+        scores = np.zeros(len(programs))
+        for index, program in enumerate(programs):
+            cached = self.executor.get_cached(self._score_ns, program, io_key)
+            if cached is None:
+                cached = float(fp_score(program, prob_map, self.registry))
+                self.executor.put_cached(self._score_ns, program, io_key, cached)
+            scores[index] = cached
+        return scores
 
 
 class EditDistanceFitness(FitnessFunction):
@@ -134,18 +173,31 @@ class EditDistanceFitness(FitnessFunction):
     output mismatch — the standard fitness the paper argues is misleading.
     """
 
-    def __init__(self, interpreter: Optional[Interpreter] = None) -> None:
+    def __init__(
+        self,
+        interpreter: Optional[Interpreter] = None,
+        executor: Optional[ExecutionEngine] = None,
+    ) -> None:
         self.interpreter = interpreter or Interpreter(trace=False)
         self.name = "edit"
+        # a default engine honors the interpreter's execution mode
+        self.executor = executor or ExecutionEngine(compiled=self.interpreter.compiled)
 
     def score(self, programs: Sequence[Program], io_set: IOSet) -> np.ndarray:
+        io_key = self.executor.io_key(io_set)
         scores = np.zeros(len(programs))
         for index, program in enumerate(programs):
-            total = 0.0
-            for example in io_set:
-                output = self.interpreter.output_of(program, example.inputs)
-                total += 1.0 / (1.0 + output_edit_distance(output, example.output))
-            scores[index] = total
+            cached = self.executor.get_cached("score:edit", program, io_key)
+            if cached is None:
+                outputs = self.executor.outputs(program, io_set, io_key=io_key)
+                cached = float(
+                    sum(
+                        1.0 / (1.0 + output_edit_distance(output, example.output))
+                        for output, example in zip(outputs, io_set)
+                    )
+                )
+                self.executor.put_cached("score:edit", program, io_key, cached)
+            scores[index] = cached
         return scores
 
 
@@ -156,15 +208,30 @@ class OracleFitness(FitnessFunction):
     bound ``Oracle_{LCS|CF}`` in the paper's Tables 3 and 4.
     """
 
-    def __init__(self, target: Program, kind: str = "lcs") -> None:
+    def __init__(
+        self,
+        target: Program,
+        kind: str = "lcs",
+        executor: Optional[ExecutionEngine] = None,
+    ) -> None:
         if kind not in ("cf", "lcs"):
             raise ValueError("kind must be 'cf' or 'lcs'")
         self.target = target
         self.kind = kind
         self.name = f"oracle_{kind}"
+        self.executor = executor or ExecutionEngine()
+        # oracle scores depend on the target, not the IO examples
+        self._target_key = ("target",) + tuple(target.function_ids)
 
     def score(self, programs: Sequence[Program], io_set: IOSet) -> np.ndarray:
-        return np.array([ideal_fitness(self.kind, program, self.target) for program in programs])
+        scores = np.zeros(len(programs))
+        for index, program in enumerate(programs):
+            cached = self.executor.get_cached(self.name, program, self._target_key)
+            if cached is None:
+                cached = float(ideal_fitness(self.kind, program, self.target))
+                self.executor.put_cached(self.name, program, self._target_key, cached)
+            scores[index] = cached
+        return scores
 
     def probability_map(self, io_set: IOSet) -> np.ndarray:
         """The exact membership vector of the target (a perfect FP map)."""

@@ -20,9 +20,10 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.config import GAConfig
-from repro.dsl.equivalence import IOSet, satisfies_io_set
+from repro.dsl.equivalence import IOSet
 from repro.dsl.interpreter import Interpreter
 from repro.dsl.program import Program
+from repro.execution import ExecutionEngine
 from repro.fitness.base import FitnessFunction
 from repro.ga.budget import SearchBudget
 from repro.ga.neighborhood import NeighborhoodSearch
@@ -60,6 +61,7 @@ class GeneticAlgorithm:
         fp_guided_mutation: bool = False,
         rng: Optional[np.random.Generator] = None,
         interpreter: Optional[Interpreter] = None,
+        executor: Optional[ExecutionEngine] = None,
     ) -> None:
         self.fitness = fitness
         self.operators = operators
@@ -69,10 +71,15 @@ class GeneticAlgorithm:
         self.fp_guided_mutation = fp_guided_mutation
         self.rng = rng or np.random.default_rng(0)
         self.interpreter = interpreter or Interpreter(trace=False)
+        # Shared execution engine: the solution check below and the fitness
+        # scoring reuse one cached execution per (candidate, io_set).  A
+        # default engine honors the interpreter's execution mode, so passing
+        # a reference interpreter still yields reference semantics.
+        self.executor = executor or ExecutionEngine(compiled=self.interpreter.compiled)
 
     # ------------------------------------------------------------------
     def _is_solution(self, candidate: Program, io_set: IOSet) -> bool:
-        return satisfies_io_set(candidate, io_set, self.interpreter)
+        return self.executor.satisfies(candidate, io_set)
 
     def _charge_and_check(
         self, candidate: Program, io_set: IOSet, budget: SearchBudget
@@ -122,6 +129,9 @@ class GeneticAlgorithm:
         probability_map = (
             self.fitness.probability_map(io_set) if self.fp_guided_mutation else None
         )
+        # Skip the per-mutation mutation_scores round-trip when the fitness
+        # declares it always returns None (e.g. LearnedTraceFitness).
+        use_mutation_scores = getattr(self.fitness, "provides_mutation_scores", False)
 
         # -- generations ---------------------------------------------------------
         for generation in range(1, cfg.max_generations + 1):
@@ -167,7 +177,9 @@ class GeneticAlgorithm:
                 elif draw < cfg.crossover_rate + cfg.mutation_rate:
                     parent = int(roulette_wheel_indices(scores, 1, self.rng)[0])
                     gene = population[parent]
-                    position_scores = self.fitness.mutation_scores(gene, io_set)
+                    position_scores = (
+                        self.fitness.mutation_scores(gene, io_set) if use_mutation_scores else None
+                    )
                     child = self.operators.mutate(
                         gene,
                         probability_map=probability_map,

@@ -24,10 +24,11 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.config import NeighborhoodConfig
-from repro.dsl.equivalence import IOSet, satisfies_io_set
+from repro.dsl.equivalence import IOSet
 from repro.dsl.functions import FunctionRegistry, REGISTRY
 from repro.dsl.interpreter import Interpreter
 from repro.dsl.program import Program
+from repro.execution import ExecutionEngine
 from repro.fitness.base import FitnessFunction
 from repro.ga.budget import SearchBudget
 
@@ -50,12 +51,17 @@ class NeighborhoodSearch:
         fitness: Optional[FitnessFunction] = None,
         registry: FunctionRegistry = REGISTRY,
         interpreter: Optional[Interpreter] = None,
+        executor: Optional[ExecutionEngine] = None,
     ) -> None:
         self.config = config or NeighborhoodConfig()
         self.config.validate()
         self.fitness = fitness
         self.registry = registry
         self.interpreter = interpreter or Interpreter(trace=False)
+        # Shared with the GA engine: neighbors the GA already executed
+        # (or will execute) hit the same cache.  A default engine honors
+        # the interpreter's execution mode.
+        self.executor = executor or ExecutionEngine(compiled=self.interpreter.compiled)
         self.stats = NeighborhoodStats()
         if self.config.strategy == "dfs" and fitness is None:
             raise ValueError("DFS neighborhood search requires a fitness function")
@@ -102,7 +108,7 @@ class NeighborhoodSearch:
             return False
         budget.charge(1)
         self.stats.candidates_examined += 1
-        return satisfies_io_set(candidate, io_set, self.interpreter)
+        return self.executor.satisfies(candidate, io_set)
 
     # ------------------------------------------------------------------
     def _search_bfs(
