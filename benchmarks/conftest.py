@@ -7,9 +7,13 @@ over the benchmark suite — is executed once per pytest session and reused.
 
 Scale knobs (all default to a laptop-friendly quick run):
 
-``NETSYN_SCALE``        multiplies task counts, run counts and budgets.
-``NETSYN_BENCH_LENGTH`` program length of the benchmark suite (default 4;
-                        the paper uses 5, 7 and 10).
+``NETSYN_SCALE``         multiplies task counts, run counts and budgets.
+``NETSYN_BENCH_LENGTH``  program length of the benchmark suite (default 4;
+                         the paper uses 5, 7 and 10).
+``NETSYN_BENCH_WORKERS`` fan the comparison grid out over N worker
+                         processes (default 1 = serial; results are
+                         byte-identical either way, so this only changes
+                         wall time on runners with cores to spare).
 """
 
 from __future__ import annotations
@@ -38,6 +42,10 @@ def bench_length() -> int:
     return int(os.environ.get("NETSYN_BENCH_LENGTH", "4"))
 
 
+def bench_workers() -> int:
+    return int(os.environ.get("NETSYN_BENCH_WORKERS", "1"))
+
+
 @pytest.fixture(scope="session")
 def bench_config() -> NetSynConfig:
     """Base NetSyn configuration used by every benchmark."""
@@ -62,7 +70,7 @@ def bench_experiment() -> ExperimentConfig:
 
 @pytest.fixture(scope="session")
 def bench_runner(bench_experiment, bench_config) -> EvaluationRunner:
-    return EvaluationRunner(bench_experiment, bench_config)
+    return EvaluationRunner(bench_experiment, bench_config, n_workers=bench_workers())
 
 
 @pytest.fixture(scope="session")

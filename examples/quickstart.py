@@ -1,20 +1,24 @@
 #!/usr/bin/env python
-"""Quickstart: train a learned fitness function and synthesize a program.
+"""Quickstart: open a synthesis session and stream a GA search.
 
-This walks through both phases of NetSyn (Figure 1 of the paper) at a
-laptop-friendly scale:
+This walks through both phases of NetSyn (Figure 1 of the paper) through
+the service API at a laptop-friendly scale:
 
-1. Phase 1 — generate a corpus of random programs and train the neural
-   fitness function (here the FP model plus the CF trace model).
-2. Phase 2 — run the genetic algorithm with the learned fitness, FP-guided
-   mutation and neighborhood search on a freshly generated synthesis task.
+1. Phase 1 — ``SynthesisService.open_session`` trains the neural fitness
+   function once (and persists it: re-running this script warm-starts
+   from ``.netsyn-artifacts/`` instead of retraining).
+2. Phase 2 — ``session.submit`` + ``session.run`` drive the genetic
+   algorithm, streaming progress events (generation index, best fitness,
+   candidates consumed, execution-cache hit rate) as it searches.
 
 Run with ``python examples/quickstart.py``; it takes well under a minute.
+The pre-service API is demonstrated in ``examples/quickstart_legacy.py``.
 """
 
+import os
 import time
 
-from repro import NetSyn, NetSynConfig
+from repro import NetSynConfig, ServiceConfig, SynthesisService
 from repro.data import make_synthesis_task
 
 
@@ -28,12 +32,19 @@ def main() -> None:
     config.ga.max_generations = 2000
     config = config.replace(max_search_space=30_000)
 
-    print("Phase 1: training the neural fitness function ...")
+    artifact_dir = os.environ.get("NETSYN_ARTIFACT_DIR", ".netsyn-artifacts")
+    service = SynthesisService(
+        config,
+        service_config=ServiceConfig(artifact_dir=artifact_dir, progress_every=2000),
+    )
+
+    print("Phase 1: training (or warm-starting) the neural fitness function ...")
     start = time.time()
-    netsyn = NetSyn(config).fit()
-    print(f"  trained in {time.time() - start:.1f}s")
-    if netsyn.fp_artifacts is not None:
-        print(f"  FP model validation metrics: {netsyn.fp_artifacts.validation_metrics}")
+    session = service.open_session(methods=("netsyn_fp",))
+    print(f"  session ready in {time.time() - start:.1f}s "
+          f"(artifacts: {session.store.names()}, persisted under {artifact_dir}/)")
+    fp = session.store.get("fp")
+    print(f"  FP model validation metrics: {fp.validation_metrics}")
 
     # A synthesis task: a hidden random target program observed only through
     # input-output examples.
@@ -44,12 +55,26 @@ def main() -> None:
     for example in task.io_set:
         print(f"  {example.inputs[0]} -> {example.output}")
 
+    def show_progress(event) -> None:
+        if event.kind == "generation" and event.generation % 25 == 0:
+            print(f"  [gen {event.generation:4d}] best={event.best_fitness:.3f} "
+                  f"mean={event.mean_fitness:.3f} candidates={event.candidates_used} "
+                  f"cache_hit_rate={event.cache_hit_rate:.0%}")
+        elif event.kind == "neighborhood":
+            print(f"  [gen {event.generation:4d}] neighborhood search triggered")
+
+    session.add_listener(show_progress)
+
     print("\nPhase 2: genetic-algorithm search ...")
     start = time.time()
-    result = netsyn.synthesize(task.io_set, seed=3, task_id=task.task_id)
+    job = session.submit(task, seed=3)
+    session.run()
     elapsed = time.time() - start
 
-    print(f"  found: {result.found} (mechanism: {result.found_by})")
+    result = job.result
+    if result is None:  # failed or cancelled
+        raise SystemExit(f"job {job.job_id} ended {job.state.value}: {job.error}")
+    print(f"  job {job.job_id}: {job.state.value} (mechanism: {result.found_by})")
     print(f"  candidate programs examined: {result.candidates_used}")
     print(f"  generations: {result.generations}, wall time: {elapsed:.1f}s")
     if result.found:

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart through the deprecated ``NetSyn`` facade.
+
+This is the pre-service API kept as a thin shim over
+:class:`~repro.core.netsyn.NetSynBackend`: ``fit()`` then
+``synthesize()``, no sessions, no progress events, no artifact
+persistence.  It exists to exercise the deprecation layer end-to-end —
+seeded results are bit-identical to the session path used in
+``examples/quickstart.py`` (see ``tests/test_service.py``).
+
+Run with ``python examples/quickstart_legacy.py``.
+"""
+
+import time
+import warnings
+
+from repro import NetSyn, NetSynConfig
+from repro.data import make_synthesis_task
+
+
+def main() -> None:
+    config = NetSynConfig.small(fitness_kind="fp", seed=3)
+    config.training.corpus_size = 2000
+    config.training.epochs = 15
+    config.ga.max_generations = 2000
+    config = config.replace(max_search_space=30_000)
+
+    print("Phase 1: training the neural fitness function (legacy facade) ...")
+    start = time.time()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)  # we know — that's the point
+        netsyn = NetSyn(config).fit()
+    print(f"  trained in {time.time() - start:.1f}s")
+
+    task = make_synthesis_task(length=4, seed=103, dsl_config=config.dsl)
+    print("\nPhase 2: genetic-algorithm search ...")
+    start = time.time()
+    result = netsyn.synthesize(task.io_set, seed=3, task_id=task.task_id)
+    print(f"  found: {result.found} (mechanism: {result.found_by})")
+    print(f"  candidate programs examined: {result.candidates_used}")
+    print(f"  generations: {result.generations}, wall time: {time.time() - start:.1f}s")
+    if result.found:
+        print("  synthesized program:")
+        print("    " + " ; ".join(result.program.names))
+
+
+if __name__ == "__main__":
+    main()

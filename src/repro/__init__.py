@@ -20,14 +20,18 @@ Programming"* (MLSys 2021).  The public API is organised as:
 
 Quickstart::
 
-    from repro import NetSyn, NetSynConfig
+    from repro import NetSynConfig, SynthesisService
     from repro.data import make_synthesis_task
 
     task = make_synthesis_task(length=4, seed=7)
-    netsyn = NetSyn(NetSynConfig.small())
-    netsyn.fit()                            # Phase 1: train the NN fitness function
-    result = netsyn.synthesize(task.io_set) # Phase 2: GA search
+    service = SynthesisService(NetSynConfig.small())
+    session = service.open_session(methods=("netsyn_cf",))  # Phase 1 (once)
+    result = session.solve(task)                            # Phase 2: GA search
     print(result.found, result.program)
+
+(The pre-service ``NetSyn(config).fit().synthesize(io_set)`` facade still
+works and produces bit-identical results; see ``docs/api.md`` for the
+migration path.)
 
 The top-level names below are resolved lazily so that ``import repro``
 stays cheap and subpackages can be imported independently.
@@ -44,9 +48,20 @@ __all__ = [
     "TrainingConfig",
     "NetSynConfig",
     "ExperimentConfig",
+    "ServiceConfig",
     "NetSyn",
+    "NetSynBackend",
+    "SynthesisBackend",
     "SynthesisResult",
     "SearchBudget",
+    "ArtifactStore",
+    "SynthesisService",
+    "SynthesisSession",
+    "SynthesisJob",
+    "JobState",
+    "ProgressEvent",
+    "EventLog",
+    "JobCancelled",
 ]
 
 _CONFIG_NAMES = {
@@ -57,8 +72,21 @@ _CONFIG_NAMES = {
     "TrainingConfig",
     "NetSynConfig",
     "ExperimentConfig",
+    "ServiceConfig",
 }
-_CORE_NAMES = {"NetSyn", "SynthesisResult", "SearchBudget"}
+_CORE_NAMES = {
+    "NetSyn",
+    "NetSynBackend",
+    "SynthesisBackend",
+    "SynthesisResult",
+    "SearchBudget",
+    "ArtifactStore",
+    "SynthesisService",
+    "SynthesisSession",
+    "SynthesisJob",
+    "JobState",
+}
+_EVENT_NAMES = {"ProgressEvent", "EventLog", "JobCancelled"}
 
 
 def __getattr__(name: str):
@@ -70,6 +98,10 @@ def __getattr__(name: str):
         import repro.core as _core
 
         return getattr(_core, name)
+    if name in _EVENT_NAMES:
+        import repro.events as _events
+
+        return getattr(_events, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 

@@ -33,7 +33,14 @@ from repro.baselines.ga_adapters import (
     NetSynSynthesizer,
     OracleGASynthesizer,
 )
-from repro.baselines.registry import METHOD_NAMES, build_synthesizer, build_context
+from repro.baselines.registry import (
+    METHOD_NAMES,
+    build_backend,
+    build_context,
+    build_synthesizer,
+    ensure_artifacts,
+    required_artifacts,
+)
 
 __all__ = [
     "Synthesizer",
@@ -50,6 +57,9 @@ __all__ = [
     "NetSynSynthesizer",
     "OracleGASynthesizer",
     "METHOD_NAMES",
+    "build_backend",
     "build_synthesizer",
     "build_context",
+    "ensure_artifacts",
+    "required_artifacts",
 ]

@@ -1,4 +1,15 @@
-"""The common synthesizer interface and the shared training context."""
+"""The common synthesizer interface and the shared training context.
+
+:class:`Synthesizer` is the pre-service ABC every baseline implements
+(``synthesize(task, budget, seed)``).  It now subclasses the unified
+:class:`~repro.core.backend.SynthesisBackend` protocol and provides a
+default :meth:`Synthesizer.solve` that wraps ``synthesize`` with the
+progress-event stream (``started`` / periodic ``candidates`` / ``finished``),
+so every baseline participates in the session/service layer without
+per-method glue.  Candidate-level events ride on the shared
+:class:`~repro.ga.budget.SearchBudget` ``on_charge`` hook — the one
+choke point all methods already charge through.
+"""
 
 from __future__ import annotations
 
@@ -7,41 +18,73 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.config import NetSynConfig
+from repro.core.artifacts import ArtifactStore
+from repro.core.backend import SynthesisBackend
 from repro.core.phase1 import Phase1Artifacts
 from repro.core.result import SynthesisResult
 from repro.data.tasks import SynthesisTask
 from repro.dsl.interpreter import Interpreter
 from repro.dsl.equivalence import satisfies_io_set
+from repro.events import ProgressListener
 from repro.ga.budget import SearchBudget
 from repro.utils.timing import Stopwatch
 
 
+class _ArtifactView(dict):
+    """The old ``context.artifacts`` dict shape, write-through to the store.
+
+    Reads see a snapshot taken at property access; writes and deletes are
+    forwarded to the typed store so the pre-store contract
+    (``context.artifacts["fp"] = trained``) keeps working.
+    """
+
+    def __init__(self, store: ArtifactStore) -> None:
+        self._store = store
+        super().__init__(store.as_dict())
+
+    def __setitem__(self, name: str, value: Phase1Artifacts) -> None:
+        self._store.set(name, value)
+        super().__setitem__(name, value)
+
+    def __delitem__(self, name: str) -> None:
+        self._store.delete(name)
+        super().__delitem__(name)
+
+
 @dataclass
 class SynthesizerContext:
-    """Everything a synthesizer may need that is shared across methods.
+    """Deprecated shim over :class:`~repro.core.artifacts.ArtifactStore`.
 
     The evaluation harness trains each model once and hands the same
     context to every method so comparisons are not confounded by training
-    randomness.
+    randomness.  New code should use the typed ``store`` directly; the
+    stringly-typed ``artifacts`` mapping is kept only for the old surface.
     """
 
     config: NetSynConfig = field(default_factory=NetSynConfig)
-    #: Phase-1 artifacts keyed by model name ("cf", "lcs", "fp", "step", "decoder")
-    artifacts: Dict[str, object] = field(default_factory=dict)
+    store: ArtifactStore = field(default_factory=ArtifactStore)
 
-    def get(self, name: str):
-        """Fetch a trained artifact or raise a helpful error."""
-        if name not in self.artifacts:
-            raise KeyError(
-                f"context has no trained artifact {name!r}; available: {sorted(self.artifacts)}"
-            )
-        return self.artifacts[name]
+    @property
+    def artifacts(self) -> Dict[str, Phase1Artifacts]:
+        """The store under the old name-keyed dict shape (writes go to
+        the store; each access reads the store's current contents)."""
+        return _ArtifactView(self.store)
+
+    def get(self, name: str) -> Phase1Artifacts:
+        """Fetch a trained artifact or raise a helpful error.
+
+        Routed through the typed store, so a missing artifact raises
+        :class:`~repro.core.artifacts.MissingArtifactError` (a
+        ``KeyError`` whose message renders cleanly) and an invalid name
+        raises ``ValueError`` listing the valid names.
+        """
+        return self.store.get(name)
 
     def has(self, name: str) -> bool:
-        return name in self.artifacts
+        return self.store.has(name)
 
 
-class Synthesizer(abc.ABC):
+class Synthesizer(SynthesisBackend):
     """A program synthesizer evaluated under the candidate-budget metric."""
 
     #: registry name of the method (e.g. ``"deepcoder"``)
@@ -55,6 +98,27 @@ class Synthesizer(abc.ABC):
         seed: int = 0,
     ) -> SynthesisResult:
         """Attempt to synthesize ``task`` within ``budget`` candidates."""
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        task: SynthesisTask,
+        budget: Optional[SearchBudget] = None,
+        seed: int = 0,
+        listener: Optional[ProgressListener] = None,
+    ) -> SynthesisResult:
+        """Unified-protocol entry point: ``synthesize`` plus progress events.
+
+        With no listener this is exactly ``synthesize`` (zero overhead);
+        with one, the budget's charge hook emits a ``"candidates"`` event
+        every ``progress_every`` candidates examined, bracketed by
+        ``"started"``/``"finished"`` events.
+        """
+        budget = budget or SearchBudget(limit=self.default_budget_limit)
+        self._start_events(task, budget, listener)
+        result = self.synthesize(task, budget=budget, seed=seed)
+        self._finish_events(task, result, listener)
+        return result
 
     # ------------------------------------------------------------------
     def _check(self, program, task: SynthesisTask, budget: SearchBudget, interpreter: Interpreter) -> bool:

@@ -36,6 +36,7 @@ class DeepCoderSynthesizer(Synthesizer):
     """Best-first enumeration ordered by a learned function-probability map."""
 
     name = "deepcoder"
+    requires = ("fp",)
 
     def __init__(
         self,

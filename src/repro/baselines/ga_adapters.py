@@ -2,41 +2,81 @@
 
 These adapters let the evaluation harness treat the NetSyn variants
 (learned CF/LCS/FP fitness), the hand-crafted edit-distance GA and the
-oracle GA exactly like the external baselines.
+oracle GA exactly like the external baselines.  They are thin shells
+around :class:`~repro.core.netsyn.NetSynBackend`, which implements the
+unified :class:`~repro.core.backend.SynthesisBackend` protocol —
+``solve`` streams per-generation progress events straight from the GA
+engine.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.baselines.base import Synthesizer
 from repro.config import NetSynConfig
-from repro.core.netsyn import NetSyn
+from repro.core.netsyn import NetSyn, NetSynBackend
 from repro.core.phase1 import Phase1Artifacts
 from repro.core.result import SynthesisResult
 from repro.data.tasks import SynthesisTask
+from repro.events import ProgressListener
 from repro.ga.budget import SearchBudget
 
 
 class NetSynSynthesizer(Synthesizer):
-    """Wraps a fitted :class:`~repro.core.netsyn.NetSyn` instance."""
+    """Wraps a fitted :class:`NetSynBackend` (or legacy :class:`NetSyn`)."""
 
-    def __init__(self, netsyn: NetSyn, name: Optional[str] = None) -> None:
-        self.netsyn = netsyn
-        self.name = name or f"netsyn_{netsyn.config.fitness_kind}"
+    def __init__(self, netsyn, name: Optional[str] = None) -> None:
+        backend = netsyn.backend if isinstance(netsyn, NetSyn) else netsyn
+        self.backend: NetSynBackend = backend
+        if name is not None:
+            self.backend.name = name
+        self.name = self.backend.name
 
+    # ------------------------------------------------------------------
+    @property
+    def requires(self) -> Tuple[str, ...]:  # type: ignore[override]
+        return self.backend.requires
+
+    @property
+    def default_budget_limit(self) -> int:  # type: ignore[override]
+        return self.backend.config.max_search_space
+
+    @property
+    def progress_every(self) -> int:  # type: ignore[override]
+        return self.backend.progress_every
+
+    @progress_every.setter
+    def progress_every(self, value: int) -> None:
+        # solve() delegates to the inner backend, so the event cadence
+        # must live there, not on this wrapper
+        self.backend.progress_every = value
+
+    def bind(self, store) -> "NetSynSynthesizer":
+        self.backend.bind(store)
+        return self
+
+    # ------------------------------------------------------------------
     def synthesize(
         self,
         task: SynthesisTask,
         budget: Optional[SearchBudget] = None,
         seed: int = 0,
     ) -> SynthesisResult:
-        budget = budget or SearchBudget(limit=self.netsyn.config.max_search_space)
-        result = self.netsyn.synthesize(
+        budget = budget or SearchBudget(limit=self.backend.config.max_search_space)
+        return self.backend.solve_io(
             task.io_set, target=task.target, budget=budget, seed=seed, task_id=task.task_id
         )
-        result.method = self.name
-        return result
+
+    def solve(
+        self,
+        task: SynthesisTask,
+        budget: Optional[SearchBudget] = None,
+        seed: int = 0,
+        listener: Optional[ProgressListener] = None,
+    ) -> SynthesisResult:
+        """Delegate to the backend so GA generation events are streamed."""
+        return self.backend.solve(task, budget=budget, seed=seed, listener=listener)
 
 
 class EditGASynthesizer(NetSynSynthesizer):
@@ -46,9 +86,9 @@ class EditGASynthesizer(NetSynSynthesizer):
         config = (config or NetSynConfig()).replace(
             fitness_kind="edit", fp_guided_mutation=False
         )
-        netsyn = NetSyn(config)
-        netsyn.set_models()  # no learned models required
-        super().__init__(netsyn, name="edit")
+        backend = NetSynBackend(config, name="edit")
+        backend.set_models()  # no learned models required
+        super().__init__(backend)
 
 
 class OracleGASynthesizer(NetSynSynthesizer):
@@ -60,9 +100,9 @@ class OracleGASynthesizer(NetSynSynthesizer):
         config = (config or NetSynConfig()).replace(
             fitness_kind=f"oracle_{kind}", fp_guided_mutation=False
         )
-        netsyn = NetSyn(config)
-        netsyn.set_models()
-        super().__init__(netsyn, name="oracle")
+        backend = NetSynBackend(config, name="oracle")
+        backend.set_models()
+        super().__init__(backend)
 
 
 def make_netsyn_synthesizer(
@@ -73,6 +113,6 @@ def make_netsyn_synthesizer(
 ) -> NetSynSynthesizer:
     """Build a NetSyn variant that reuses pre-trained Phase-1 artifacts."""
     variant = config.replace(fitness_kind=kind)
-    netsyn = NetSyn(variant)
-    netsyn.set_models(trace_artifacts=trace_artifacts, fp_artifacts=fp_artifacts)
-    return NetSynSynthesizer(netsyn)
+    backend = NetSynBackend(variant)
+    backend.set_models(trace_artifacts=trace_artifacts, fp_artifacts=fp_artifacts)
+    return NetSynSynthesizer(backend)

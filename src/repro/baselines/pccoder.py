@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.baselines.base import Synthesizer
 from repro.config import DSLConfig, NNConfig, TrainingConfig
-from repro.core.phase1 import Phase1Artifacts
+from repro.core.phase1 import Phase1Artifacts, register_model_builder
 from repro.core.result import SynthesisResult
 from repro.data.corpus import CorpusBuilder
 from repro.data.tasks import SynthesisTask
@@ -173,6 +173,7 @@ class PCCoderSynthesizer(Synthesizer):
     """CAB beam search driven by the step-wise next-function model."""
 
     name = "pccoder"
+    requires = ("step",)
 
     def __init__(
         self,
@@ -256,3 +257,7 @@ class PCCoderSynthesizer(Synthesizer):
                 break
         stopwatch.stop()
         return self._result(task, budget, stopwatch, program=found, found_by="search")
+
+
+# allow Phase1Artifacts.load to rebuild persisted steppredictor models
+register_model_builder("StepPredictorModel", lambda meta, nn: StepPredictorModel(config=nn))

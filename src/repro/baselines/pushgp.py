@@ -34,6 +34,7 @@ class PushGPSynthesizer(Synthesizer):
     """Variable-length GP over the DSL with output edit-distance fitness."""
 
     name = "pushgp"
+    requires = ()
 
     def __init__(
         self,

@@ -1,9 +1,11 @@
-"""Method registry used by the evaluation harness.
+"""Method registry used by the service layer and the evaluation harness.
 
-``build_context`` trains every Phase-1 model a set of methods needs —
-exactly once — and ``build_synthesizer`` instantiates a named method
-against that shared context, so all methods in one experiment see the
-same trained models and the same configuration.
+``ensure_artifacts`` trains every Phase-1 model a set of methods needs —
+exactly once, into a typed :class:`~repro.core.artifacts.ArtifactStore` —
+and ``build_backend`` instantiates a named method against that store, so
+all methods in one experiment see the same trained models and the same
+configuration.  ``build_context``/``build_synthesizer`` remain as shims
+over the old ``SynthesizerContext`` surface.
 """
 
 from __future__ import annotations
@@ -21,6 +23,8 @@ from repro.baselines.pccoder import PCCoderSynthesizer, train_step_model
 from repro.baselines.pushgp import PushGPSynthesizer
 from repro.baselines.robustfill import RobustFillSynthesizer, train_decoder_model
 from repro.config import NetSynConfig
+from repro.core.artifacts import ArtifactStore
+from repro.core.backend import SynthesisBackend
 from repro.core.phase1 import train_fp_model, train_trace_model
 from repro.utils.logging import get_logger
 
@@ -63,57 +67,81 @@ def required_artifacts(methods: Iterable[str]) -> set:
     return needed
 
 
+#: trainer per canonical artifact name (all share TrainingConfig/NNConfig/DSLConfig)
+_TRAINERS = {
+    "cf": lambda **kw: train_trace_model(kind="cf", **kw),
+    "lcs": lambda **kw: train_trace_model(kind="lcs", **kw),
+    "fp": train_fp_model,
+    "step": train_step_model,
+    "decoder": train_decoder_model,
+}
+
+
+def ensure_artifacts(
+    store: ArtifactStore,
+    config: NetSynConfig,
+    methods: Iterable[str] = METHOD_NAMES,
+    verbose: bool = False,
+) -> ArtifactStore:
+    """Train (in place) every artifact the given methods need and the store
+    does not already hold — the fit-once half of fit-once-serve-many.
+
+    Artifacts already present (warm-started from disk via
+    :meth:`ArtifactStore.load`, or trained for an earlier session) are
+    left untouched.
+    """
+    config.validate()
+    needed = sorted(required_artifacts(methods))
+    for name in store.missing(needed):
+        logger.info("training %s model", name)
+        store.set(
+            name,
+            _TRAINERS[name](
+                training=config.training, nn=config.nn, dsl=config.dsl, verbose=verbose
+            ),
+        )
+    return store
+
+
 def build_context(
     config: Optional[NetSynConfig] = None,
     methods: Iterable[str] = METHOD_NAMES,
     verbose: bool = False,
 ) -> SynthesizerContext:
-    """Train every artifact the given methods need and return the context."""
-    config = config or NetSynConfig()
-    config.validate()
-    context = SynthesizerContext(config=config)
-    needed = required_artifacts(methods)
+    """Train every artifact the given methods need and return the context.
 
-    if "cf" in needed:
-        logger.info("training CF trace model")
-        context.artifacts["cf"] = train_trace_model(
-            kind="cf", training=config.training, nn=config.nn, dsl=config.dsl, verbose=verbose
-        )
-    if "lcs" in needed:
-        logger.info("training LCS trace model")
-        context.artifacts["lcs"] = train_trace_model(
-            kind="lcs", training=config.training, nn=config.nn, dsl=config.dsl, verbose=verbose
-        )
-    if "fp" in needed:
-        logger.info("training FP model")
-        context.artifacts["fp"] = train_fp_model(
-            training=config.training, nn=config.nn, dsl=config.dsl, verbose=verbose
-        )
-    if "step" in needed:
-        logger.info("training PCCoder step model")
-        context.artifacts["step"] = train_step_model(
-            training=config.training, nn=config.nn, dsl=config.dsl, verbose=verbose
-        )
-    if "decoder" in needed:
-        logger.info("training RobustFill decoder model")
-        context.artifacts["decoder"] = train_decoder_model(
-            training=config.training, nn=config.nn, dsl=config.dsl, verbose=verbose
-        )
+    Deprecated shim: the context now wraps a typed
+    :class:`~repro.core.artifacts.ArtifactStore` (``context.store``).
+    """
+    config = config or NetSynConfig()
+    context = SynthesizerContext(config=config)
+    ensure_artifacts(context.store, config, methods=methods, verbose=verbose)
     return context
 
 
-def build_synthesizer(name: str, context: SynthesizerContext, program_length: Optional[int] = None) -> Synthesizer:
-    """Instantiate the named method against a prepared context."""
+def build_backend(
+    name: str,
+    store: ArtifactStore,
+    config: NetSynConfig,
+    program_length: Optional[int] = None,
+) -> SynthesisBackend:
+    """Instantiate the named method against a prepared artifact store.
+
+    Every returned object implements the unified
+    :class:`~repro.core.backend.SynthesisBackend` protocol (``solve`` with
+    progress events); artifact lookups go through the typed store, so a
+    missing model fails with a precise
+    :class:`~repro.core.artifacts.MissingArtifactError`.
+    """
     if name not in _REQUIREMENTS:
         raise KeyError(f"unknown method {name!r}; known: {METHOD_NAMES}")
-    config = context.config
     length = program_length or config.program_length
     config = config.replace(program_length=length)
 
     if name in ("netsyn_cf", "netsyn_lcs", "netsyn_fp"):
         kind = name.split("_", 1)[1]
-        trace = context.artifacts.get(kind) if kind in ("cf", "lcs") else None
-        fp = context.artifacts.get("fp")
+        trace = store.get_optional(kind) if kind in ("cf", "lcs") else None
+        fp = store.get_optional("fp")
         return make_netsyn_synthesizer(kind, config, trace_artifacts=trace, fp_artifacts=fp)
     if name == "edit":
         return EditGASynthesizer(config)
@@ -122,9 +150,16 @@ def build_synthesizer(name: str, context: SynthesizerContext, program_length: Op
     if name == "pushgp":
         return PushGPSynthesizer(program_length=length)
     if name == "deepcoder":
-        return DeepCoderSynthesizer(context.get("fp"), program_length=length)
+        return DeepCoderSynthesizer(store.get("fp"), program_length=length)
     if name == "pccoder":
-        return PCCoderSynthesizer(context.get("step"), program_length=length)
+        return PCCoderSynthesizer(store.get("step"), program_length=length)
     if name == "robustfill":
-        return RobustFillSynthesizer(context.get("decoder"), program_length=length)
+        return RobustFillSynthesizer(store.get("decoder"), program_length=length)
     raise KeyError(name)  # pragma: no cover - guarded above
+
+
+def build_synthesizer(
+    name: str, context: SynthesizerContext, program_length: Optional[int] = None
+) -> Synthesizer:
+    """Instantiate the named method against a prepared context (old surface)."""
+    return build_backend(name, context.store, context.config, program_length=program_length)

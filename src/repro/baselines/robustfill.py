@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.baselines.base import Synthesizer
 from repro.config import DSLConfig, NNConfig, TrainingConfig
-from repro.core.phase1 import Phase1Artifacts
+from repro.core.phase1 import Phase1Artifacts, register_model_builder
 from repro.core.result import SynthesisResult
 from repro.data.corpus import CorpusBuilder
 from repro.data.tasks import SynthesisTask
@@ -171,6 +171,7 @@ class RobustFillSynthesizer(Synthesizer):
     """Samples whole candidate programs from the learned decoder."""
 
     name = "robustfill"
+    requires = ("decoder",)
 
     def __init__(
         self,
@@ -252,3 +253,7 @@ class RobustFillSynthesizer(Synthesizer):
                 found = candidate
         stopwatch.stop()
         return self._result(task, budget, stopwatch, program=found, found_by="search")
+
+
+# allow Phase1Artifacts.load to rebuild persisted programdecoder models
+register_model_builder("ProgramDecoderModel", lambda meta, nn: ProgramDecoderModel(config=nn))

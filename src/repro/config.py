@@ -268,6 +268,38 @@ class NetSynConfig:
 
 
 @dataclass
+class ServiceConfig:
+    """Configuration of the synthesis service layer (sessions and jobs).
+
+    ``artifact_dir`` enables fit-once-serve-many across processes: a
+    session persists its trained Phase-1 artifacts there and later
+    sessions warm-start from disk instead of retraining.
+    """
+
+    #: directory for persisted Phase-1 artifacts (None disables persistence)
+    artifact_dir: Optional[str] = None
+    #: load artifacts from ``artifact_dir`` when present
+    warm_start: bool = True
+    #: persist newly trained artifacts to ``artifact_dir``
+    save_artifacts: bool = True
+    #: default worker-process count for ``SynthesisSession.run``
+    n_workers: int = 1
+    #: budget charges between two "candidates" progress events
+    progress_every: int = 50
+    #: most recent events retained on each job (older ones are dropped so
+    #: paper-scale budgets cannot grow job.events without bound)
+    max_events_per_job: int = 10_000
+
+    def validate(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if self.progress_every < 1:
+            raise ValueError("progress_every must be at least 1")
+        if self.max_events_per_job < 1:
+            raise ValueError("max_events_per_job must be at least 1")
+
+
+@dataclass
 class ExperimentConfig:
     """Configuration of an evaluation experiment (a table or figure)."""
 

@@ -1,0 +1,148 @@
+"""The typed Phase-1 artifact store.
+
+Phase 1 of the paper trains up to five models (CF trace, LCS trace, FP,
+PCCoder step, RobustFill decoder).  :class:`ArtifactStore` holds them
+under their canonical names with typed accessors — replacing the
+stringly-typed ``SynthesizerContext.artifacts`` dict on the new API
+surface — and persists them as a directory of per-artifact
+``weights.npz`` + ``artifacts.json`` pairs via
+:meth:`~repro.core.phase1.Phase1Artifacts.save`, which is what makes
+:class:`~repro.core.service.SynthesisSession` warm-startable across
+processes (fit once, serve many).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.phase1 import Phase1Artifacts
+from repro.utils.serialization import PathLike, load_json, save_json
+
+#: every artifact name Phase 1 can produce, in canonical order
+ARTIFACT_NAMES: Tuple[str, ...] = ("cf", "lcs", "fp", "step", "decoder")
+
+_STORE_MANIFEST = "store.json"
+
+
+class MissingArtifactError(KeyError):
+    """A required Phase-1 artifact has not been trained or loaded.
+
+    Subclasses :class:`KeyError` for backward compatibility with the old
+    ``SynthesizerContext.get`` contract, but renders its message verbatim
+    (``KeyError.__str__`` would wrap it in quotes).
+    """
+
+    def __init__(self, name: str, available: Iterable[str]) -> None:
+        self.name = name
+        self.available = tuple(available)
+        super().__init__(name)
+
+    def __str__(self) -> str:
+        return (
+            f"no trained artifact {self.name!r}; available: {sorted(self.available)}. "
+            f"Train it (registry.ensure_artifacts) or load it (ArtifactStore.load)."
+        )
+
+
+@dataclass
+class ArtifactStore:
+    """Typed container for the Phase-1 artifacts of one configuration.
+
+    One slot per canonical artifact name; ``get``/``set`` validate names
+    eagerly so a typo fails with the full list of valid names instead of
+    a silent empty lookup.
+    """
+
+    cf: Optional[Phase1Artifacts] = None
+    lcs: Optional[Phase1Artifacts] = None
+    fp: Optional[Phase1Artifacts] = None
+    step: Optional[Phase1Artifacts] = None
+    decoder: Optional[Phase1Artifacts] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_name(name: str) -> None:
+        if name not in ARTIFACT_NAMES:
+            raise ValueError(f"unknown artifact name {name!r}; valid names: {ARTIFACT_NAMES}")
+
+    def get(self, name: str) -> Phase1Artifacts:
+        """The named artifact, or :class:`MissingArtifactError` if absent."""
+        self._validate_name(name)
+        artifacts = getattr(self, name)
+        if artifacts is None:
+            raise MissingArtifactError(name, self.names())
+        return artifacts
+
+    def get_optional(self, name: str) -> Optional[Phase1Artifacts]:
+        """The named artifact, or ``None`` if absent (name still validated)."""
+        self._validate_name(name)
+        return getattr(self, name)
+
+    def set(self, name: str, artifacts: Phase1Artifacts) -> "ArtifactStore":
+        self._validate_name(name)
+        setattr(self, name, artifacts)
+        return self
+
+    def has(self, name: str) -> bool:
+        self._validate_name(name)
+        return getattr(self, name) is not None
+
+    def names(self) -> Tuple[str, ...]:
+        """Names of the artifacts currently present, in canonical order."""
+        return tuple(name for name in ARTIFACT_NAMES if getattr(self, name) is not None)
+
+    def missing(self, required: Iterable[str]) -> Tuple[str, ...]:
+        """Which of ``required`` are not present yet."""
+        return tuple(name for name in required if not self.has(name))
+
+    def delete(self, name: str) -> None:
+        """Drop the named artifact (no-op when absent)."""
+        self._validate_name(name)
+        setattr(self, name, None)
+
+    def as_dict(self) -> Dict[str, Phase1Artifacts]:
+        """Plain-dict snapshot (the deprecated ``context.artifacts`` shape)."""
+        return {name: getattr(self, name) for name in self.names()}
+
+    # ------------------------------------------------------------------
+    def save(self, directory: PathLike) -> None:
+        """Persist every present artifact under ``directory/<name>/``.
+
+        The manifest is merged with any store already saved there, so
+        sessions serving different method sets can share one artifact
+        directory without clobbering each other's entries.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        on_disk: Tuple[str, ...] = ()
+        if self.saved_at(directory):
+            on_disk = tuple(load_json(directory / _STORE_MANIFEST).get("artifacts", ()))
+        names = self.names()
+        for name in names:
+            self.get(name).save(directory / name)
+        merged = [n for n in ARTIFACT_NAMES if n in set(on_disk) | set(names)]
+        save_json(directory / _STORE_MANIFEST, {"format_version": 1, "artifacts": merged})
+
+    @classmethod
+    def load(cls, directory: PathLike, names: Optional[Iterable[str]] = None) -> "ArtifactStore":
+        """Load a store saved by :meth:`save`.
+
+        ``names`` restricts loading to a subset (artifacts missing on disk
+        are skipped, so a partially-populated directory warm-starts what
+        it can and the rest is trained on demand).
+        """
+        directory = Path(directory)
+        manifest = load_json(directory / _STORE_MANIFEST)
+        on_disk = tuple(manifest.get("artifacts", ()))
+        wanted = on_disk if names is None else tuple(n for n in names if n in on_disk)
+        store = cls()
+        for name in wanted:
+            store.set(name, Phase1Artifacts.load(directory / name))
+        return store
+
+    @staticmethod
+    def saved_at(directory: PathLike) -> bool:
+        """True when ``directory`` holds a persisted store manifest."""
+        return (Path(directory) / _STORE_MANIFEST).is_file()

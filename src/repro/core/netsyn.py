@@ -1,30 +1,40 @@
-"""The NetSyn synthesizer facade.
+"""The NetSyn synthesis backend (and the deprecated ``NetSyn`` facade).
 
-:class:`NetSyn` wires the two phases of Figure 1 together:
+:class:`NetSynBackend` wires the two phases of Figure 1 together behind
+the unified :class:`~repro.core.backend.SynthesisBackend` protocol:
 
-* **Phase 1 — fitness function generation** (:meth:`NetSyn.fit`): generate
-  a corpus of random example programs and train the neural fitness model
-  configured by ``NetSynConfig.fitness_kind`` (plus the FP model whenever
-  FP-guided mutation is enabled).
-* **Phase 2 — program generation** (:meth:`NetSyn.synthesize`): run the
+* **Phase 1 — fitness function generation** (:meth:`NetSynBackend.fit`,
+  or :meth:`NetSynBackend.bind` to reuse artifacts from an
+  :class:`~repro.core.artifacts.ArtifactStore`): train or attach the
+  neural fitness model configured by ``NetSynConfig.fitness_kind`` (plus
+  the FP model whenever FP-guided mutation is enabled).
+* **Phase 2 — program generation** (:meth:`NetSynBackend.solve`): run the
   genetic algorithm with the learned fitness function, FP-guided mutation
   and restricted local neighborhood search until a program equivalent to
   the target under the IO examples is found or the candidate budget is
-  exhausted.
+  exhausted — streaming per-generation
+  :class:`~repro.events.ProgressEvent`\\ s to an optional listener.
+
+:class:`NetSyn` remains as a thin deprecated facade over the backend so
+pre-existing callers (``NetSyn(config).fit().synthesize(io_set)``) keep
+working bit-identically; new code should go through
+:class:`~repro.core.service.SynthesisService`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-import numpy as np
+import warnings
+from typing import Optional, Tuple
 
 from repro.config import NetSynConfig
+from repro.core.backend import SynthesisBackend
 from repro.core.phase1 import Phase1Artifacts, train_fp_model, train_trace_model
 from repro.core.result import SynthesisResult
+from repro.data.tasks import SynthesisTask
 from repro.dsl.equivalence import IOSet
 from repro.dsl.interpreter import Interpreter
 from repro.dsl.program import Program
+from repro.events import ProgressListener
 from repro.execution import ExecutionEngine
 from repro.fitness.base import FitnessFunction
 from repro.fitness.functions import (
@@ -44,12 +54,13 @@ from repro.utils.timing import Stopwatch
 logger = get_logger("core.netsyn")
 
 
-class NetSyn:
+class NetSynBackend(SynthesisBackend):
     """GA-based program synthesizer with a learned fitness function."""
 
-    def __init__(self, config: Optional[NetSynConfig] = None) -> None:
+    def __init__(self, config: Optional[NetSynConfig] = None, name: Optional[str] = None) -> None:
         self.config = config or NetSynConfig()
         self.config.validate()
+        self.name = name or f"netsyn_{self.config.fitness_kind}"
         self._factory = RngFactory(self.config.seed)
         self._trace_artifacts: Optional[Phase1Artifacts] = None
         self._fp_artifacts: Optional[Phase1Artifacts] = None
@@ -67,13 +78,27 @@ class NetSyn:
         return self.config.fitness_kind == "fp" or self.config.fp_guided_mutation
 
     @property
+    def requires(self) -> Tuple[str, ...]:  # type: ignore[override]
+        """Canonical artifact names this backend consumes from a store."""
+        names = []
+        if self.needs_trace_model:
+            names.append(self.config.fitness_kind)
+        if self.needs_fp_model:
+            names.append("fp")
+        return tuple(names)
+
+    @property
+    def default_budget_limit(self) -> int:  # type: ignore[override]
+        return self.config.max_search_space
+
+    @property
     def trace_artifacts(self) -> Optional[Phase1Artifacts]:
-        """Phase-1 artifacts of the trace model (after :meth:`fit`)."""
+        """Phase-1 artifacts of the trace model (after :meth:`fit`/:meth:`bind`)."""
         return self._trace_artifacts
 
     @property
     def fp_artifacts(self) -> Optional[Phase1Artifacts]:
-        """Phase-1 artifacts of the FP model (after :meth:`fit`)."""
+        """Phase-1 artifacts of the FP model (after :meth:`fit`/:meth:`bind`)."""
         return self._fp_artifacts
 
     # ------------------------------------------------------------------
@@ -83,7 +108,7 @@ class NetSyn:
         fp_io_sets=None,
         fp_memberships=None,
         verbose: bool = False,
-    ) -> "NetSyn":
+    ) -> "NetSynBackend":
         """Phase 1: train the neural fitness model(s).
 
         Pre-generated corpora may be passed to reuse data across several
@@ -117,7 +142,7 @@ class NetSyn:
         self,
         trace_artifacts: Optional[Phase1Artifacts] = None,
         fp_artifacts: Optional[Phase1Artifacts] = None,
-    ) -> "NetSyn":
+    ) -> "NetSynBackend":
         """Attach pre-trained Phase-1 artifacts instead of calling :meth:`fit`."""
         if trace_artifacts is not None:
             self._trace_artifacts = trace_artifacts
@@ -125,6 +150,14 @@ class NetSyn:
             self._fp_artifacts = fp_artifacts
         self._fitted = True
         return self
+
+    def bind(self, store) -> "NetSynBackend":
+        """Attach every required artifact from a typed artifact store."""
+        trace = None
+        if self.needs_trace_model:
+            trace = store.get(self.config.fitness_kind)
+        fp = store.get("fp") if self.needs_fp_model else None
+        return self.set_models(trace_artifacts=trace, fp_artifacts=fp)
 
     # ------------------------------------------------------------------
     def build_fitness(
@@ -172,13 +205,14 @@ class NetSyn:
         )
 
     # ------------------------------------------------------------------
-    def synthesize(
+    def solve_io(
         self,
         io_set: IOSet,
         target: Optional[Program] = None,
         budget: Optional[SearchBudget] = None,
         seed: Optional[int] = None,
         task_id: str = "",
+        listener: Optional[ProgressListener] = None,
     ) -> SynthesisResult:
         """Phase 2: search for a program satisfying ``io_set``.
 
@@ -194,6 +228,9 @@ class NetSyn:
         seed:
             Per-run seed (the paper repeats each task K times with
             different random seeds).
+        listener:
+            Optional progress-event consumer; per-generation events are
+            enriched with this backend's method name and ``task_id``.
         """
         cfg = self.config
         if not self._fitted and (self.needs_trace_model or self.needs_fp_model):
@@ -238,8 +275,16 @@ class NetSyn:
             executor=executor,
         )
 
+        engine_listener = None
+        if listener is not None:
+
+            def engine_listener(event):
+                event.method = self.name
+                event.task_id = task_id
+                listener(event)
+
         with Stopwatch() as stopwatch:
-            evolution = engine.run(io_set, budget)
+            evolution = engine.run(io_set, budget, listener=engine_listener)
 
         return SynthesisResult(
             found=evolution.found,
@@ -249,11 +294,97 @@ class NetSyn:
             generations=evolution.generations,
             wall_time_seconds=stopwatch.elapsed,
             found_by=evolution.found_by,
-            method=f"netsyn_{cfg.fitness_kind}",
+            method=self.name,
             task_id=task_id,
             neighborhood_invocations=evolution.neighborhood_invocations,
             average_fitness_history=evolution.average_fitness_history,
             best_fitness_history=evolution.best_fitness_history,
+        )
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        task: SynthesisTask,
+        budget: Optional[SearchBudget] = None,
+        seed: int = 0,
+        listener: Optional[ProgressListener] = None,
+    ) -> SynthesisResult:
+        """Synthesize one task through the unified backend protocol."""
+        budget = budget or SearchBudget(limit=self.config.max_search_space)
+        self._start_events(task, budget, listener)
+        result = self.solve_io(
+            task.io_set,
+            target=task.target,
+            budget=budget,
+            seed=seed,
+            task_id=task.task_id,
+            listener=listener,
+        )
+        self._finish_events(task, result, listener)
+        return result
+
+
+class NetSyn:
+    """Deprecated facade over :class:`NetSynBackend`.
+
+    Kept so ``NetSyn(config).fit().synthesize(io_set)`` works exactly as
+    before (bit-identical results); new code should use
+    :class:`~repro.core.service.SynthesisService` /
+    :class:`NetSynBackend` directly.
+    """
+
+    def __init__(self, config: Optional[NetSynConfig] = None) -> None:
+        warnings.warn(
+            "NetSyn is deprecated; use SynthesisService.open_session() or "
+            "NetSynBackend instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.backend = NetSynBackend(config)
+
+    # -- delegation ------------------------------------------------------
+    @property
+    def config(self) -> NetSynConfig:
+        return self.backend.config
+
+    @property
+    def needs_trace_model(self) -> bool:
+        return self.backend.needs_trace_model
+
+    @property
+    def needs_fp_model(self) -> bool:
+        return self.backend.needs_fp_model
+
+    @property
+    def trace_artifacts(self) -> Optional[Phase1Artifacts]:
+        return self.backend.trace_artifacts
+
+    @property
+    def fp_artifacts(self) -> Optional[Phase1Artifacts]:
+        return self.backend.fp_artifacts
+
+    def fit(self, *args, **kwargs) -> "NetSyn":
+        self.backend.fit(*args, **kwargs)
+        return self
+
+    def set_models(self, *args, **kwargs) -> "NetSyn":
+        self.backend.set_models(*args, **kwargs)
+        return self
+
+    def build_fitness(self, *args, **kwargs) -> FitnessFunction:
+        return self.backend.build_fitness(*args, **kwargs)
+
+    def synthesize(
+        self,
+        io_set: IOSet,
+        target: Optional[Program] = None,
+        budget: Optional[SearchBudget] = None,
+        seed: Optional[int] = None,
+        task_id: str = "",
+    ) -> SynthesisResult:
+        """Phase 2 search (old entry point; see :meth:`NetSynBackend.solve_io`)."""
+        return self.backend.solve_io(
+            io_set, target=target, budget=budget, seed=seed, task_id=task_id
         )
 
 

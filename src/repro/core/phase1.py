@@ -8,7 +8,8 @@ the datasets (:mod:`repro.fitness.datasets`), the models
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,8 +22,54 @@ from repro.nn.optimizers import Adam
 from repro.nn.training import Trainer, TrainingHistory
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngFactory
+from repro.utils.serialization import PathLike, load_json, load_npz, save_json, save_npz
 
 logger = get_logger("core.phase1")
+
+
+# ---------------------------------------------------------------------------
+# Model reconstruction registry (for Phase1Artifacts.load)
+# ---------------------------------------------------------------------------
+
+#: builders keyed by model class name: ``builder(model_meta, nn_config) -> Module``
+_MODEL_BUILDERS: Dict[str, Callable[[dict, NNConfig], object]] = {}
+
+
+def register_model_builder(name: str, builder: Callable[[dict, NNConfig], object]) -> None:
+    """Register a constructor used to rebuild a persisted model by class name.
+
+    The two core fitness models register themselves below; the baseline
+    models (PCCoder step predictor, RobustFill decoder) register on import
+    of their modules, which :meth:`Phase1Artifacts.load` triggers lazily.
+    """
+    _MODEL_BUILDERS[name] = builder
+
+
+register_model_builder(
+    "TraceFitnessModel",
+    lambda meta, nn: TraceFitnessModel(n_classes=int(meta["n_classes"]), config=nn),
+)
+register_model_builder(
+    "FunctionProbabilityModel",
+    lambda meta, nn: FunctionProbabilityModel(config=nn, pos_weight=meta.get("pos_weight")),
+)
+
+
+def _build_model(class_name: str, model_meta: dict, nn: NNConfig):
+    if class_name not in _MODEL_BUILDERS:
+        # the step/decoder models live in repro.baselines and register on import
+        import repro.baselines  # noqa: F401
+    builder = _MODEL_BUILDERS.get(class_name)
+    if builder is None:
+        raise ValueError(
+            f"cannot rebuild persisted model {class_name!r}; "
+            f"registered: {sorted(_MODEL_BUILDERS)}"
+        )
+    return builder(model_meta, nn)
+
+
+_ARTIFACTS_META = "artifacts.json"
+_ARTIFACTS_WEIGHTS = "weights.npz"
 
 
 @dataclass
@@ -33,6 +80,67 @@ class Phase1Artifacts:
     history: TrainingHistory
     encoder: FeatureEncoder
     validation_metrics: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def save(self, directory: PathLike) -> None:
+        """Persist model weights + metadata so a later process can reload.
+
+        Weights go to ``weights.npz`` (lossless float64), everything needed
+        to rebuild the model object — class name, architecture config,
+        per-model extras, encoder settings, training history — to
+        ``artifacts.json``.  :meth:`load` reverses this bit-exactly: the
+        reloaded model produces identical fitness scores (tested in
+        ``tests/test_service.py``).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        model = self.model
+        model_meta: Dict[str, object] = {}
+        if hasattr(model, "n_classes"):
+            model_meta["n_classes"] = int(model.n_classes)
+        if getattr(model, "pos_weight", None) is not None:
+            model_meta["pos_weight"] = float(model.pos_weight)
+        save_npz(directory / _ARTIFACTS_WEIGHTS, model.state_dict())
+        save_json(
+            directory / _ARTIFACTS_META,
+            {
+                "format_version": 1,
+                "model_class": type(model).__name__,
+                "nn_config": vars(model.config),
+                "model_meta": model_meta,
+                "encoder": {"max_value_length": self.encoder.max_value_length},
+                "history": {
+                    "train_loss": self.history.train_loss,
+                    "train_metrics": self.history.train_metrics,
+                    "val_metrics": self.history.val_metrics,
+                },
+                "validation_metrics": self.validation_metrics,
+            },
+        )
+
+    @classmethod
+    def load(cls, directory: PathLike) -> "Phase1Artifacts":
+        """Reload artifacts persisted by :meth:`save`."""
+        directory = Path(directory)
+        meta = load_json(directory / _ARTIFACTS_META)
+        nn = NNConfig(**meta["nn_config"])
+        model = _build_model(meta["model_class"], meta.get("model_meta", {}), nn)
+        model.load_state_dict(load_npz(directory / _ARTIFACTS_WEIGHTS))
+        history_meta = meta.get("history", {})
+        history = TrainingHistory(
+            train_loss=list(history_meta.get("train_loss", [])),
+            train_metrics=list(history_meta.get("train_metrics", [])),
+            val_metrics=list(history_meta.get("val_metrics", [])),
+        )
+        encoder = FeatureEncoder(
+            max_value_length=int(meta.get("encoder", {}).get("max_value_length", 16))
+        )
+        return cls(
+            model=model,
+            history=history,
+            encoder=encoder,
+            validation_metrics=dict(meta.get("validation_metrics", {})),
+        )
 
 
 def train_trace_model(

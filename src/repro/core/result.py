@@ -53,6 +53,13 @@ class SynthesisResult:
     best_fitness_history: List[float] = field(default_factory=list)
 
     @property
+    def status(self) -> str:
+        """Terminal job status this result maps to: ``"solved"`` when a
+        program was found, ``"exhausted"`` otherwise (the budget ran out
+        or the generation limit was reached)."""
+        return "solved" if self.found else "exhausted"
+
+    @property
     def search_space_fraction(self) -> float:
         """Fraction of the candidate budget consumed (paper's y-axis in Fig. 4a-c)."""
         if self.budget_limit <= 0:

@@ -1,0 +1,425 @@
+"""The synthesis service layer: sessions, jobs, progress streams.
+
+The paper's pipeline is fit-once-serve-many: Phase 1 trains the neural
+fitness models once, Phase 2 answers many synthesis requests against
+them.  This module turns that shape into an explicit API:
+
+``SynthesisService``
+    Owns a :class:`~repro.config.NetSynConfig` and (optionally) a
+    persistent artifact directory.  :meth:`SynthesisService.open_session`
+    loads Phase-1 artifacts from disk when present, trains whatever is
+    missing, persists the result, and returns a session.
+
+``SynthesisSession``
+    Holds the trained :class:`~repro.core.artifacts.ArtifactStore` and a
+    cache of :class:`~repro.core.backend.SynthesisBackend` instances (one
+    per method × program length).  :meth:`SynthesisSession.submit`
+    enqueues a job; :meth:`SynthesisSession.run` executes pending jobs
+    serially in submission order or fans them out over the existing
+    :class:`~repro.evaluation.runner.ParallelTaskRunner` workers
+    (records identical to a serial run — every job is explicitly seeded).
+
+``SynthesisJob``
+    One synthesis request with an observable lifecycle::
+
+        PENDING -> RUNNING -> SOLVED | EXHAUSTED | FAILED | CANCELLED
+
+    Jobs collect their :class:`~repro.events.ProgressEvent` stream and
+    support cancellation: pending jobs cancel immediately; running jobs
+    cancel cooperatively at the next progress event (the session's
+    listener raises :class:`~repro.events.JobCancelled` inside the
+    backend, which abandons the search).
+
+Seeded runs through this layer are bit-identical to the deprecated
+``NetSyn.synthesize()`` path (tested in ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import NetSynConfig, ServiceConfig
+from repro.core.artifacts import ArtifactStore
+from repro.core.backend import SynthesisBackend
+from repro.core.result import SynthesisResult
+from repro.data.tasks import SynthesisTask
+from repro.events import JobCancelled, ProgressEvent, ProgressListener
+from repro.ga.budget import SearchBudget
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.service")
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle of a :class:`SynthesisJob`."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SOLVED = "solved"
+    EXHAUSTED = "exhausted"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            JobState.SOLVED,
+            JobState.EXHAUSTED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+        )
+
+
+@dataclass
+class SynthesisJob:
+    """One submitted synthesis request and its observable state."""
+
+    job_id: str
+    method: str
+    task: SynthesisTask
+    seed: int
+    budget_limit: int
+    program_length: Optional[int] = None
+    state: JobState = JobState.PENDING
+    result: Optional[SynthesisResult] = None
+    error: Optional[str] = None
+    events: List[ProgressEvent] = field(default_factory=list)
+    _cancel_requested: bool = field(default=False, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.state.terminal
+
+    def cancel(self) -> bool:
+        """Request cancellation.
+
+        Pending jobs flip to ``CANCELLED`` immediately; running jobs are
+        cancelled cooperatively at their next progress event.  Returns
+        False when the job already reached a terminal state.
+        """
+        if self.state is JobState.PENDING:
+            self.state = JobState.CANCELLED
+            return True
+        if self.state is JobState.RUNNING:
+            self._cancel_requested = True
+            return True
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "method": self.method,
+            "task_id": self.task.task_id,
+            "seed": self.seed,
+            "budget_limit": self.budget_limit,
+            "state": self.state.value,
+            "error": self.error,
+            "result": self.result.to_dict() if self.result is not None else None,
+            "n_events": len(self.events),
+        }
+
+
+#: picklable description of one job for the parallel workers
+_ServiceJobSpec = Tuple[str, Optional[int], SynthesisTask, int, int]
+
+_WORKER_BACKENDS: Dict[Any, Any] = {}
+
+
+def _run_service_job(spec: _ServiceJobSpec) -> Tuple[Optional[SynthesisResult], Optional[str]]:
+    """Execute one job in a worker process (or serially as a fallback).
+
+    Backends are built lazily per worker and cached per (method, length),
+    mirroring the session's own backend cache, so parallel results are
+    byte-identical to serial ones — seeds travel with the spec, never
+    with the worker.  Returns ``(result, None)`` on success and
+    ``(None, error)`` on failure, so one broken job cannot take down the
+    whole pool map (matching the serial path's per-job isolation).
+    """
+    from repro.baselines.registry import build_backend
+    from repro.evaluation.runner import worker_payload
+
+    method, length, task, seed, budget_limit = spec
+    try:
+        store, config = worker_payload()
+        if _WORKER_BACKENDS.get("__store__") is not store:
+            _WORKER_BACKENDS.clear()
+            _WORKER_BACKENDS["__store__"] = store
+        key = (method, length)
+        backend = _WORKER_BACKENDS.get(key)
+        if backend is None:
+            backend = build_backend(method, store, config, program_length=length)
+            _WORKER_BACKENDS[key] = backend
+        result = backend.solve(task, budget=SearchBudget(limit=budget_limit), seed=seed)
+    except Exception as error:  # noqa: BLE001 - job isolation boundary
+        return None, f"{type(error).__name__}: {error}"
+    return result, None
+
+
+class SynthesisSession:
+    """A warm set of Phase-1 artifacts serving many synthesis jobs."""
+
+    def __init__(
+        self,
+        config: NetSynConfig,
+        store: ArtifactStore,
+        methods: Sequence[str],
+        service_config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.config = config
+        self.store = store
+        self.methods = tuple(methods)
+        self.service_config = service_config or ServiceConfig()
+        self.jobs: List[SynthesisJob] = []
+        self._backends: Dict[Tuple[str, Optional[int]], SynthesisBackend] = {}
+        self._listeners: List[ProgressListener] = []
+        self._next_job_number = 0
+
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: ProgressListener) -> None:
+        """Attach a session-wide progress-event consumer."""
+        self._listeners.append(listener)
+
+    def backend(self, method: str, program_length: Optional[int] = None) -> SynthesisBackend:
+        """The cached backend for ``method`` (built and bound on first use)."""
+        from repro.baselines.registry import build_backend
+
+        key = (method, program_length)
+        backend = self._backends.get(key)
+        if backend is None:
+            backend = build_backend(
+                method, self.store, self.config, program_length=program_length
+            )
+            backend.progress_every = self.service_config.progress_every
+            self._backends[key] = backend
+        return backend
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        task: SynthesisTask,
+        method: Optional[str] = None,
+        budget: Union[SearchBudget, int, None] = None,
+        seed: int = 0,
+        program_length: Optional[int] = None,
+    ) -> SynthesisJob:
+        """Enqueue one synthesis job (state ``PENDING``).
+
+        ``budget`` may be a candidate count or a ``SearchBudget``; it
+        defaults to the configuration's ``max_search_space``.  Jobs run
+        when :meth:`run` is called (or :meth:`run_job` for one job).
+        """
+        method = method or self.methods[0]
+        if method not in self.methods:
+            raise KeyError(
+                f"method {method!r} is not part of this session; opened with {self.methods}"
+            )
+        if isinstance(budget, SearchBudget):
+            limit = budget.limit
+        elif budget is None:
+            limit = self.config.max_search_space
+        else:
+            limit = int(budget)
+        self._next_job_number += 1
+        job = SynthesisJob(
+            job_id=f"job-{self._next_job_number}",
+            method=method,
+            task=task,
+            seed=seed,
+            budget_limit=limit,
+            program_length=program_length,
+        )
+        self.jobs.append(job)
+        return job
+
+    # ------------------------------------------------------------------
+    def _job_listener(self, job: SynthesisJob) -> ProgressListener:
+        """Record events on the job, fan out to session listeners, and
+        honor cooperative cancellation."""
+
+        max_events = self.service_config.max_events_per_job
+
+        def listener(event: ProgressEvent) -> None:
+            event.job_id = job.job_id
+            job.events.append(event)
+            if len(job.events) > max_events:  # keep the most recent events
+                del job.events[0]
+            for session_listener in self._listeners:
+                session_listener(event)
+            # honor cancellation at every event except "finished": by then
+            # the result exists, and discarding it would waste the run
+            if job._cancel_requested and event.kind != "finished":
+                raise JobCancelled(job.job_id)
+
+        return listener
+
+    def run_job(self, job: SynthesisJob) -> SynthesisJob:
+        """Execute one pending job to a terminal state (serial path)."""
+        if job.state is not JobState.PENDING:
+            return job
+        job.state = JobState.RUNNING
+        budget = SearchBudget(limit=job.budget_limit)
+        try:
+            result = self.backend(job.method, job.program_length).solve(
+                job.task, budget=budget, seed=job.seed, listener=self._job_listener(job)
+            )
+        except JobCancelled:
+            job.state = JobState.CANCELLED
+            logger.info("job %s cancelled after %d candidates", job.job_id, budget.used)
+            return job
+        except Exception as error:  # noqa: BLE001 - job isolation boundary
+            job.state = JobState.FAILED
+            job.error = f"{type(error).__name__}: {error}"
+            logger.warning("job %s failed: %s", job.job_id, job.error)
+            return job
+        self._finish(job, result)
+        return job
+
+    def _finish(self, job: SynthesisJob, result: SynthesisResult) -> None:
+        job.result = result
+        job.state = JobState.SOLVED if result.found else JobState.EXHAUSTED
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: Optional[Sequence[SynthesisJob]] = None,
+        n_workers: Optional[int] = None,
+    ) -> List[SynthesisJob]:
+        """Execute pending jobs, serially (in submission order) or in parallel.
+
+        With ``n_workers > 1`` the pending jobs fan out over
+        ``ParallelTaskRunner`` worker processes; results (and the order of
+        the returned list) are identical to a serial run.  Per-candidate
+        progress streaming does not cross process boundaries, so parallel
+        jobs carry only their terminal ``"finished"`` event.
+        """
+        pending = [j for j in (jobs if jobs is not None else self.jobs) if j.state is JobState.PENDING]
+        n_workers = self.service_config.n_workers if n_workers is None else int(n_workers)
+        if n_workers > 1 and len(pending) > 1:
+            from repro.evaluation.runner import ParallelTaskRunner
+
+            specs: List[_ServiceJobSpec] = [
+                (job.method, job.program_length, job.task, job.seed, job.budget_limit)
+                for job in pending
+            ]
+            for job in pending:
+                job.state = JobState.RUNNING
+            runner = ParallelTaskRunner(
+                n_workers=n_workers,
+                seed=self.config.seed,
+                payload=(self.store, self.config),
+            )
+            for job, (result, error) in zip(pending, runner.map(_run_service_job, specs)):
+                if result is None:
+                    job.state = JobState.FAILED
+                    job.error = error
+                    logger.warning("job %s failed: %s", job.job_id, job.error)
+                    continue
+                self._finish(job, result)
+                listener = self._job_listener(job)
+                listener(
+                    ProgressEvent(
+                        kind="finished",
+                        method=job.method,
+                        task_id=job.task.task_id,
+                        candidates_used=result.candidates_used,
+                        budget_limit=result.budget_limit,
+                        found=result.found,
+                        found_by=result.found_by,
+                    )
+                )
+            return pending
+        for job in pending:
+            self.run_job(job)
+        return pending
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        task: SynthesisTask,
+        method: Optional[str] = None,
+        budget: Union[SearchBudget, int, None] = None,
+        seed: int = 0,
+        listener: Optional[ProgressListener] = None,
+    ) -> SynthesisResult:
+        """Submit-and-run convenience for interactive use.
+
+        Raises the job's error (or :class:`~repro.events.JobCancelled`)
+        instead of returning a failed job, so callers get either a
+        result or an exception.
+        """
+        job = self.submit(task, method=method, budget=budget, seed=seed)
+        if listener is not None:
+            self.add_listener(listener)
+            try:
+                self.run_job(job)
+            finally:
+                self._listeners.remove(listener)
+        else:
+            self.run_job(job)
+        if job.state is JobState.FAILED:
+            raise RuntimeError(f"synthesis job failed: {job.error}")
+        if job.state is JobState.CANCELLED:
+            raise JobCancelled(job.job_id)
+        assert job.result is not None
+        return job.result
+
+    def save_artifacts(self, directory) -> None:
+        """Persist this session's trained artifacts for later warm starts."""
+        self.store.save(directory)
+
+
+class SynthesisService:
+    """Entry point: opens warm-startable sessions over trained artifacts."""
+
+    def __init__(
+        self,
+        config: Optional[NetSynConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.config = config or NetSynConfig()
+        self.config.validate()
+        self.service_config = service_config or ServiceConfig()
+        self.service_config.validate()
+        self.verbose = verbose
+
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        methods: Sequence[str] = ("netsyn_cf",),
+        store: Optional[ArtifactStore] = None,
+    ) -> SynthesisSession:
+        """Load-or-train the Phase-1 artifacts for ``methods`` and return a
+        session serving them.
+
+        With a configured ``artifact_dir``, previously saved artifacts are
+        loaded instead of retrained (warm start) and newly trained ones
+        are persisted, so a second process opens the same session without
+        paying for Phase 1 again.
+        """
+        from repro.baselines.registry import ensure_artifacts, required_artifacts
+
+        service_config = self.service_config
+        needed = sorted(required_artifacts(methods))
+        if store is None:
+            store = ArtifactStore()
+            if (
+                service_config.artifact_dir
+                and service_config.warm_start
+                and ArtifactStore.saved_at(service_config.artifact_dir)
+            ):
+                store = ArtifactStore.load(service_config.artifact_dir, names=needed)
+                logger.info(
+                    "warm start: loaded %s from %s", store.names(), service_config.artifact_dir
+                )
+        missing = store.missing(needed)
+        ensure_artifacts(store, self.config, methods=methods, verbose=self.verbose)
+        if service_config.artifact_dir and service_config.save_artifacts and missing:
+            store.save(service_config.artifact_dir)
+            logger.info("saved artifacts %s to %s", store.names(), service_config.artifact_dir)
+        return SynthesisSession(
+            self.config, store, methods=methods, service_config=service_config
+        )

@@ -1,7 +1,9 @@
 """Experiment runners: the full method comparison and the Table-2 ablation.
 
-The method comparison can fan its (method, length, task, run) grid out
-over multiprocessing workers via :class:`ParallelTaskRunner`.  Every
+The method comparison drives its (method, length, task, run) grid through
+a :class:`~repro.core.service.SynthesisSession`, which trains the shared
+Phase-1 models once and executes the submitted jobs serially or fanned
+out over multiprocessing workers via :class:`ParallelTaskRunner`.  Every
 synthesis attempt is seeded explicitly — the seed is a deterministic
 function of the experiment seed and the run index, never of the worker —
 so the parallel report is byte-identical to the serial one regardless of
@@ -19,9 +21,10 @@ import numpy as np
 
 from repro.baselines.base import SynthesizerContext
 from repro.baselines.ga_adapters import make_netsyn_synthesizer
-from repro.baselines.registry import build_context, build_synthesizer
+from repro.baselines.registry import build_context
 from repro.config import ExperimentConfig, NetSynConfig
 from repro.core.phase1 import train_fp_model, train_trace_model
+from repro.core.service import SynthesisSession
 from repro.data.tasks import BenchmarkSuite, make_benchmark_suite
 from repro.evaluation.metrics import (
     MethodSummary,
@@ -109,45 +112,6 @@ def worker_payload() -> Any:
     return _WORKER_STATE.get("payload")
 
 
-#: One cell of the evaluation grid, in serial iteration order.
-_EvalJob = Tuple[str, int, Any, int, int, int]
-
-
-_SYNTH_CACHE: Dict[Tuple[str, int], Any] = {}
-
-
-def _run_evaluation_job(job: _EvalJob) -> RunRecord:
-    """Execute one (method, length, task, run) cell of the grid.
-
-    Synthesizers are built lazily per worker and cached per (method,
-    length), mirroring the serial loop which builds one synthesizer per
-    method × length and reuses it across tasks and runs.
-    """
-    method, length, task, run_index, seed, budget_limit = job
-    context = worker_payload()
-    if _SYNTH_CACHE.get("__context__") is not context:
-        # a different context (new models, or a fallback run in the parent
-        # process) invalidates every cached synthesizer
-        _SYNTH_CACHE.clear()
-        _SYNTH_CACHE["__context__"] = context
-    key = (method, length)
-    synthesizer = _SYNTH_CACHE.get(key)
-    if synthesizer is None:
-        synthesizer = build_synthesizer(method, context, program_length=length)
-        _SYNTH_CACHE[key] = synthesizer
-    budget = SearchBudget(limit=budget_limit)
-    result = synthesizer.synthesize(task, budget=budget, seed=seed)
-    return RunRecord(
-        method=method,
-        length=length,
-        task_id=task.task_id,
-        run_index=run_index,
-        result=result,
-        is_singleton=task.is_singleton,
-        target_function_ids=tuple(task.target.function_ids),
-    )
-
-
 @dataclass
 class EvaluationReport:
     """All run records of one experiment plus convenient aggregations."""
@@ -195,6 +159,7 @@ class EvaluationRunner:
         self.verbose = verbose
         self.n_workers = int(n_workers)
         self._context = context
+        self._session: Optional[SynthesisSession] = None
 
     # ------------------------------------------------------------------
     @property
@@ -207,6 +172,21 @@ class EvaluationRunner:
             )
         return self._context
 
+    @property
+    def session(self) -> SynthesisSession:
+        """The synthesis session the evaluation grid runs through.
+
+        Built over the shared context's artifact store, so passing a
+        pre-trained ``context`` keeps working as before.
+        """
+        if self._session is None:
+            self._session = SynthesisSession(
+                self.context.config,
+                self.context.store,
+                methods=self.experiment.methods,
+            )
+        return self._session
+
     def build_suite(self, length: int) -> BenchmarkSuite:
         """The benchmark suite used for one program length."""
         return make_benchmark_suite(
@@ -217,61 +197,58 @@ class EvaluationRunner:
         )
 
     # ------------------------------------------------------------------
-    def _jobs(self) -> List[_EvalJob]:
-        """The full evaluation grid, in serial iteration order.
+    def _submit_grid(self, session: SynthesisSession) -> List[Tuple[Any, int]]:
+        """Submit the full evaluation grid, in serial iteration order.
 
         The per-run seed depends only on the experiment seed and the run
         index, so any assignment of jobs to workers reproduces the same
         records.
         """
-        jobs: List[_EvalJob] = []
+        submitted: List[Tuple[Any, int]] = []
         for length in self.experiment.lengths:
             suite = self.build_suite(length)
             for method in self.experiment.methods:
                 for task in suite:
                     for run_index in range(self.experiment.n_runs):
                         seed = self.experiment.seed * 10_007 + run_index
-                        jobs.append(
-                            (method, length, task, run_index, seed, self.experiment.max_search_space)
+                        job = session.submit(
+                            task,
+                            method=method,
+                            budget=self.experiment.max_search_space,
+                            seed=seed,
+                            program_length=length,
                         )
-        return jobs
+                        submitted.append((job, run_index))
+        return submitted
 
     def run(self) -> EvaluationReport:
         """Execute every (method, length, task, run) combination.
 
-        With ``n_workers > 1`` the grid is fanned out over worker
-        processes; the records (and their order) are identical to a
-        serial run.
+        The grid goes through :class:`SynthesisSession`: jobs are
+        submitted in serial iteration order, then executed serially or —
+        with ``n_workers > 1`` — fanned out over worker processes.  The
+        records (and their order) are identical either way.
         """
         report = EvaluationReport(experiment=self.experiment)
-        if self.n_workers > 1:
-            runner = ParallelTaskRunner(
-                n_workers=self.n_workers, seed=self.experiment.seed, payload=self.context
+        session = self.session
+        submitted = self._submit_grid(session)
+        session.run([job for job, _ in submitted], n_workers=self.n_workers)
+        for job, run_index in submitted:
+            if job.result is None:  # pragma: no cover - failed/cancelled job
+                raise RuntimeError(
+                    f"evaluation job {job.job_id} ended {job.state.value}: {job.error}"
+                )
+            report.records.append(
+                RunRecord(
+                    method=job.method,
+                    length=job.program_length,
+                    task_id=job.task.task_id,
+                    run_index=run_index,
+                    result=job.result,
+                    is_singleton=job.task.is_singleton,
+                    target_function_ids=tuple(job.task.target.function_ids),
+                )
             )
-            report.records.extend(runner.map(_run_evaluation_job, self._jobs()))
-            return report
-        for length in self.experiment.lengths:
-            suite = self.build_suite(length)
-            for method in self.experiment.methods:
-                synthesizer = build_synthesizer(method, self.context, program_length=length)
-                for task in suite:
-                    for run_index in range(self.experiment.n_runs):
-                        budget = SearchBudget(limit=self.experiment.max_search_space)
-                        seed = self.experiment.seed * 10_007 + run_index
-                        result = synthesizer.synthesize(task, budget=budget, seed=seed)
-                        report.records.append(
-                            RunRecord(
-                                method=method,
-                                length=length,
-                                task_id=task.task_id,
-                                run_index=run_index,
-                                result=result,
-                                is_singleton=task.is_singleton,
-                                target_function_ids=tuple(task.target.function_ids),
-                            )
-                        )
-                    if self.verbose:  # pragma: no cover - logging only
-                        logger.info("%s len=%d task=%s done", method, length, task.task_id)
         return report
 
 

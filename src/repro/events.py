@@ -1,0 +1,118 @@
+"""Progress events streamed out of Phase-2 synthesis runs.
+
+Every :class:`~repro.core.backend.SynthesisBackend` accepts an optional
+*listener* — any callable taking one :class:`ProgressEvent` — and emits a
+stream of events while it searches:
+
+``"started"``
+    Once, before the first candidate is examined.
+``"generation"``
+    After each GA generation is scored (GA-based backends only): the
+    generation index, mean/best population fitness, candidates consumed
+    and the execution engine's cache counters.
+``"neighborhood"``
+    When the restricted local neighborhood search triggers.
+``"candidates"``
+    Periodically (every ``progress_every`` budget charges) for every
+    backend, including the enumerative baselines that have no notion of
+    a generation.
+``"finished"``
+    Once, with the outcome (``found`` / ``found_by``).
+
+Listeners observe; they never steer the search — with one deliberate
+exception: a listener may raise :class:`JobCancelled` to abandon the run,
+which is how :class:`~repro.core.service.SynthesisJob` implements
+cooperative cancellation.  Because events are emitted outside every
+random-number draw, attaching a listener never changes the result of a
+seeded run.
+
+This module is intentionally dependency-free (dataclasses only) so any
+layer — GA engine, budget accounting, baselines, service — can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class JobCancelled(Exception):
+    """Raised (by a listener) to abandon a synthesis run cooperatively."""
+
+
+@dataclass
+class ProgressEvent:
+    """One observation of a running synthesis job.
+
+    Fields default to the "unknown/not applicable" value so each emitter
+    fills only what it can see; the backend enriches engine-level events
+    with ``method``/``task_id``/``job_id`` before forwarding them.
+    """
+
+    kind: str
+    method: str = ""
+    task_id: str = ""
+    job_id: str = ""
+    #: GA generation index (1-based; 0 for non-generation events)
+    generation: int = 0
+    mean_fitness: Optional[float] = None
+    best_fitness: Optional[float] = None
+    candidates_used: int = 0
+    budget_limit: int = 0
+    #: execution-engine cache counters at emission time
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    #: outcome fields ("finished" events only)
+    found: Optional[bool] = None
+    found_by: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (for logs and persisted event streams)."""
+        return {
+            "kind": self.kind,
+            "method": self.method,
+            "task_id": self.task_id,
+            "job_id": self.job_id,
+            "generation": self.generation,
+            "mean_fitness": self.mean_fitness,
+            "best_fitness": self.best_fitness,
+            "candidates_used": self.candidates_used,
+            "budget_limit": self.budget_limit,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "found": self.found,
+            "found_by": self.found_by,
+        }
+
+
+#: anything that consumes progress events
+ProgressListener = Callable[[ProgressEvent], None]
+
+
+class EventLog:
+    """A listener that records every event (the default test/CLI consumer)."""
+
+    def __init__(self) -> None:
+        self.events: List[ProgressEvent] = []
+
+    def __call__(self, event: ProgressEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def kinds(self) -> List[str]:
+        return [event.kind for event in self.events]
+
+    def of_kind(self, kind: str) -> List[ProgressEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    @property
+    def last(self) -> Optional[ProgressEvent]:
+        return self.events[-1] if self.events else None

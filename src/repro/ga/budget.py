@@ -10,6 +10,7 @@ of 3,000,000 candidate programs").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 
 class BudgetExhausted(Exception):
@@ -26,10 +27,21 @@ class SearchBudget:
         Maximum number of candidates that may be examined.
     used:
         Number of candidates charged so far.
+    on_charge:
+        Optional observer invoked (with this budget) after every
+        successful :meth:`charge`.  Because *every* synthesizer in the
+        repository charges candidates through here, this single hook
+        gives the service layer a uniform "candidates consumed" progress
+        stream — and a cancellation point — for all methods.  Observers
+        must not mutate the budget; they may raise (e.g.
+        :class:`repro.events.JobCancelled`) to abort the run.
     """
 
     limit: int
     used: int = 0
+    on_charge: Optional[Callable[["SearchBudget"], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.limit <= 0:
@@ -67,6 +79,8 @@ class SearchBudget:
             raise BudgetExhausted(f"requested {count}, remaining {self.remaining}")
         charged = min(count, self.remaining) if not strict else count
         self.used += charged
+        if charged and self.on_charge is not None:
+            self.on_charge(self)
         return charged
 
     def reset(self) -> None:
@@ -74,5 +88,9 @@ class SearchBudget:
         self.used = 0
 
     def copy(self) -> "SearchBudget":
-        """An independent copy with the same limit and usage."""
+        """An independent copy with the same limit and usage.
+
+        The ``on_charge`` observer is deliberately not copied: it belongs
+        to the run the original budget was issued for.
+        """
         return SearchBudget(limit=self.limit, used=self.used)

@@ -23,6 +23,7 @@ from repro.config import GAConfig
 from repro.dsl.equivalence import IOSet
 from repro.dsl.interpreter import Interpreter
 from repro.dsl.program import Program
+from repro.events import ProgressEvent, ProgressListener
 from repro.execution import ExecutionEngine
 from repro.fitness.base import FitnessFunction
 from repro.ga.budget import SearchBudget
@@ -92,7 +93,46 @@ class GeneticAlgorithm:
         return self._is_solution(candidate, io_set)
 
     # ------------------------------------------------------------------
-    def run(self, io_set: IOSet, budget: SearchBudget) -> EvolutionResult:
+    def _emit_generation(
+        self,
+        listener: Optional[ProgressListener],
+        kind: str,
+        generation: int,
+        budget: SearchBudget,
+        avg_history: List[float],
+        best_history: List[float],
+    ) -> None:
+        """Stream one per-generation observation to ``listener``.
+
+        Emitted strictly between random draws (after scoring, before
+        selection), so attaching a listener never perturbs a seeded run.
+        Listener exceptions (notably ``JobCancelled``) propagate and
+        abandon the search.
+        """
+        if listener is None:
+            return
+        stats = self.executor.stats
+        listener(
+            ProgressEvent(
+                kind=kind,
+                generation=generation,
+                mean_fitness=avg_history[-1] if avg_history else None,
+                best_fitness=best_history[-1] if best_history else None,
+                candidates_used=budget.used,
+                budget_limit=budget.limit,
+                cache_hits=stats.hits,
+                cache_misses=stats.misses,
+                cache_hit_rate=stats.hit_rate,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        io_set: IOSet,
+        budget: SearchBudget,
+        listener: Optional[ProgressListener] = None,
+    ) -> EvolutionResult:
         """Run the evolutionary search for a program satisfying ``io_set``."""
         cfg = self.config
         avg_history: List[float] = []
@@ -138,6 +178,9 @@ class GeneticAlgorithm:
             population.set_scores(self.fitness.score(population.members, io_set))
             avg_history.append(population.mean_score())
             best_history.append(population.max_score())
+            self._emit_generation(
+                listener, "generation", generation, budget, avg_history, best_history
+            )
 
             # neighborhood search on fitness saturation
             if (
@@ -148,6 +191,9 @@ class GeneticAlgorithm:
                 ns_cooldown = self.neighborhood.config.cooldown
                 top = population.top(self.neighborhood.config.top_n)
                 found = self.neighborhood.search(top, io_set, budget)
+                self._emit_generation(
+                    listener, "neighborhood", generation, budget, avg_history, best_history
+                )
                 if found is not None:
                     return EvolutionResult(
                         found=True,

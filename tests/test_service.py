@@ -1,0 +1,527 @@
+"""The unified backend API, the session/service layer and artifact persistence."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DeepCoderSynthesizer,
+    PCCoderSynthesizer,
+    PushGPSynthesizer,
+    RobustFillSynthesizer,
+    build_backend,
+    build_context,
+    train_decoder_model,
+    train_step_model,
+)
+from repro.baselines.base import SynthesizerContext
+from repro.config import NetSynConfig, ServiceConfig
+from repro.core import (
+    ArtifactStore,
+    MissingArtifactError,
+    NetSyn,
+    NetSynBackend,
+    Phase1Artifacts,
+    SynthesisBackend,
+    SynthesisService,
+    SynthesisSession,
+    JobState,
+)
+from repro.events import EventLog, JobCancelled
+from repro.fitness.functions import LearnedTraceFitness, ProbabilityMapFitness
+from repro.ga.budget import SearchBudget
+
+
+@pytest.fixture(scope="module")
+def tiny_step_artifacts(tiny_training_config, tiny_nn_config, tiny_dsl_config):
+    return train_step_model(training=tiny_training_config, nn=tiny_nn_config, dsl=tiny_dsl_config)
+
+
+@pytest.fixture(scope="module")
+def tiny_decoder_artifacts(tiny_training_config, tiny_nn_config, tiny_dsl_config):
+    return train_decoder_model(training=tiny_training_config, nn=tiny_nn_config, dsl=tiny_dsl_config)
+
+
+@pytest.fixture
+def edit_config(tiny_netsyn_config):
+    return tiny_netsyn_config.replace(fitness_kind="edit", fp_guided_mutation=False)
+
+
+@pytest.fixture
+def edit_session(edit_config):
+    return SynthesisSession(edit_config, ArtifactStore(), methods=("edit",))
+
+
+# ---------------------------------------------------------------------------
+# Phase-1 artifact persistence
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactRoundTrip:
+    def test_trace_artifacts_reload_bit_identical(self, tmp_path, tiny_trace_artifacts, tiny_suite):
+        tiny_trace_artifacts.save(tmp_path / "cf")
+        reloaded = Phase1Artifacts.load(tmp_path / "cf")
+        # identical parameters ...
+        original_state = tiny_trace_artifacts.model.state_dict()
+        reloaded_state = reloaded.model.state_dict()
+        assert set(original_state) == set(reloaded_state)
+        for name in original_state:
+            assert np.array_equal(original_state[name], reloaded_state[name])
+        # ... and bit-identical fitness scores on real candidates
+        task = tiny_suite[0]
+        programs = [t.target for t in tiny_suite]
+        before = LearnedTraceFitness(
+            tiny_trace_artifacts.model, kind="cf", encoder=tiny_trace_artifacts.encoder
+        ).score(programs, task.io_set)
+        after = LearnedTraceFitness(
+            reloaded.model, kind="cf", encoder=reloaded.encoder
+        ).score(programs, task.io_set)
+        assert np.array_equal(before, after)
+
+    def test_fp_artifacts_reload_bit_identical(self, tmp_path, tiny_fp_artifacts, tiny_suite):
+        tiny_fp_artifacts.save(tmp_path / "fp")
+        reloaded = Phase1Artifacts.load(tmp_path / "fp")
+        task = tiny_suite[0]
+        programs = [t.target for t in tiny_suite]
+        before = ProbabilityMapFitness(
+            tiny_fp_artifacts.model, encoder=tiny_fp_artifacts.encoder
+        ).score(programs, task.io_set)
+        after = ProbabilityMapFitness(reloaded.model, encoder=reloaded.encoder).score(
+            programs, task.io_set
+        )
+        assert np.array_equal(before, after)
+        assert np.array_equal(
+            ProbabilityMapFitness(tiny_fp_artifacts.model, encoder=tiny_fp_artifacts.encoder)
+            .probability_map(task.io_set),
+            ProbabilityMapFitness(reloaded.model, encoder=reloaded.encoder)
+            .probability_map(task.io_set),
+        )
+
+    def test_step_and_decoder_artifacts_round_trip(
+        self, tmp_path, tiny_step_artifacts, tiny_decoder_artifacts
+    ):
+        tiny_step_artifacts.save(tmp_path / "step")
+        tiny_decoder_artifacts.save(tmp_path / "decoder")
+        for directory, original in (
+            (tmp_path / "step", tiny_step_artifacts),
+            (tmp_path / "decoder", tiny_decoder_artifacts),
+        ):
+            reloaded = Phase1Artifacts.load(directory)
+            assert type(reloaded.model).__name__ == type(original.model).__name__
+            for name, value in original.model.state_dict().items():
+                assert np.array_equal(value, reloaded.model.state_dict()[name])
+
+    def test_history_and_metrics_survive(self, tmp_path, tiny_fp_artifacts):
+        tiny_fp_artifacts.save(tmp_path / "fp")
+        reloaded = Phase1Artifacts.load(tmp_path / "fp")
+        assert reloaded.history.epochs == tiny_fp_artifacts.history.epochs
+        assert reloaded.history.train_loss == pytest.approx(tiny_fp_artifacts.history.train_loss)
+        assert reloaded.validation_metrics.keys() == tiny_fp_artifacts.validation_metrics.keys()
+        assert reloaded.encoder.max_value_length == tiny_fp_artifacts.encoder.max_value_length
+
+
+class TestArtifactStore:
+    def test_save_load_round_trip(self, tmp_path, tiny_trace_artifacts, tiny_fp_artifacts):
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        store.save(tmp_path)
+        loaded = ArtifactStore.load(tmp_path)
+        assert loaded.names() == ("cf", "fp")
+        assert ArtifactStore.saved_at(tmp_path)
+
+    def test_partial_load_by_name(self, tmp_path, tiny_trace_artifacts, tiny_fp_artifacts):
+        ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts).save(tmp_path)
+        loaded = ArtifactStore.load(tmp_path, names=["fp", "step"])
+        assert loaded.names() == ("fp",)
+
+    def test_missing_artifact_error_message(self, tiny_fp_artifacts):
+        store = ArtifactStore(fp=tiny_fp_artifacts)
+        with pytest.raises(MissingArtifactError) as excinfo:
+            store.get("cf")
+        message = str(excinfo.value)
+        assert "no trained artifact 'cf'" in message
+        assert "'fp'" in message
+        # still a KeyError for old callers
+        with pytest.raises(KeyError):
+            store.get("cf")
+
+    def test_unknown_name_rejected_eagerly(self):
+        store = ArtifactStore()
+        with pytest.raises(ValueError):
+            store.get("bogus")
+        with pytest.raises(ValueError):
+            store.set("bogus", None)
+
+    def test_context_shim_routes_through_store(self, tiny_fp_artifacts):
+        context = SynthesizerContext()
+        assert context.artifacts == {}
+        context.store.set("fp", tiny_fp_artifacts)
+        assert context.has("fp")
+        assert context.get("fp") is tiny_fp_artifacts
+        assert context.artifacts == {"fp": tiny_fp_artifacts}
+        with pytest.raises(KeyError):
+            context.get("cf")
+
+    def test_context_artifacts_writes_reach_store(self, tiny_fp_artifacts):
+        """The old `context.artifacts[name] = ...` contract still works."""
+        context = SynthesizerContext()
+        context.artifacts["fp"] = tiny_fp_artifacts
+        assert context.store.get("fp") is tiny_fp_artifacts
+        assert context.get("fp") is tiny_fp_artifacts
+        view = context.artifacts
+        del view["fp"]
+        assert not context.store.has("fp")
+
+    def test_save_merges_with_existing_manifest(
+        self, tmp_path, tiny_trace_artifacts, tiny_fp_artifacts
+    ):
+        """Sessions sharing one artifact_dir must not clobber each other."""
+        ArtifactStore(fp=tiny_fp_artifacts).save(tmp_path)
+        ArtifactStore(cf=tiny_trace_artifacts).save(tmp_path)
+        loaded = ArtifactStore.load(tmp_path)
+        assert loaded.names() == ("cf", "fp")
+
+
+# ---------------------------------------------------------------------------
+# The unified backend protocol: all five methods, with progress events
+# ---------------------------------------------------------------------------
+
+
+class TestBackendProtocol:
+    def _solve_with_events(self, backend, task, limit=200):
+        log = EventLog()
+        result = backend.solve(task, budget=SearchBudget(limit=limit), seed=0, listener=log)
+        kinds = log.kinds()
+        assert kinds[0] == "started"
+        assert kinds[-1] == "finished"
+        assert log.last.found == result.found
+        assert all(event.method == backend.name for event in log)
+        return result, log
+
+    def test_netsyn_backend_streams_generations(self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task):
+        backend = NetSynBackend(tiny_netsyn_config)
+        backend.set_models(trace_artifacts=tiny_trace_artifacts, fp_artifacts=tiny_fp_artifacts)
+        assert isinstance(backend, SynthesisBackend)
+        assert backend.requires == ("cf", "fp")
+        result, log = self._solve_with_events(backend, tiny_task, limit=400)
+        generations = log.of_kind("generation")
+        if result.generations:
+            assert len(generations) >= result.generations
+            event = generations[0]
+            assert event.generation == 1
+            assert event.best_fitness is not None and event.mean_fitness is not None
+            assert event.candidates_used > 0
+            assert event.cache_hits + event.cache_misses > 0
+            assert 0.0 <= event.cache_hit_rate <= 1.0
+            assert event.task_id == tiny_task.task_id
+
+    def test_all_four_baselines_stream_events(
+        self, tiny_fp_artifacts, tiny_step_artifacts, tiny_decoder_artifacts, tiny_task
+    ):
+        backends = [
+            DeepCoderSynthesizer(tiny_fp_artifacts, program_length=3),
+            PCCoderSynthesizer(tiny_step_artifacts, program_length=3, initial_beam_width=4),
+            RobustFillSynthesizer(tiny_decoder_artifacts, program_length=3),
+            PushGPSynthesizer(program_length=3, population_size=20),
+        ]
+        for backend in backends:
+            assert isinstance(backend, SynthesisBackend)
+            result, log = self._solve_with_events(backend, tiny_task, limit=150)
+            # every method reports candidate-level progress via the budget hook
+            assert result.found or log.of_kind("candidates")
+
+    def test_listener_does_not_change_seeded_result(self, edit_config, tiny_task):
+        backend = NetSynBackend(edit_config).set_models()
+        silent = backend.solve(tiny_task, budget=SearchBudget(limit=500), seed=5)
+        observed = backend.solve(
+            tiny_task, budget=SearchBudget(limit=500), seed=5, listener=EventLog()
+        )
+        assert silent.found == observed.found
+        assert silent.candidates_used == observed.candidates_used
+        assert silent.generations == observed.generations
+        assert silent.best_fitness_history == observed.best_fitness_history
+
+    def test_build_backend_binds_requirements(self, tiny_netsyn_config, tiny_fp_artifacts, tiny_task):
+        store = ArtifactStore(fp=tiny_fp_artifacts)
+        backend = build_backend("deepcoder", store, tiny_netsyn_config, program_length=3)
+        result = backend.solve(tiny_task, budget=SearchBudget(limit=100), seed=0)
+        assert result.method == "deepcoder"
+
+    def test_build_backend_missing_artifact(self, tiny_netsyn_config):
+        with pytest.raises(MissingArtifactError):
+            build_backend("pccoder", ArtifactStore(), tiny_netsyn_config)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: service path vs the deprecated NetSyn facade
+# ---------------------------------------------------------------------------
+
+
+def _results_equal(a, b):
+    assert a.found == b.found
+    assert a.candidates_used == b.candidates_used
+    assert a.generations == b.generations
+    assert a.found_by == b.found_by
+    assert (a.program.function_ids if a.found else None) == (
+        b.program.function_ids if b.found else None
+    )
+    assert a.average_fitness_history == b.average_fitness_history
+    assert a.best_fitness_history == b.best_fitness_history
+
+
+class TestServiceBitIdentity:
+    def test_edit_fitness_matches_legacy_path(self, edit_config, tiny_task):
+        legacy = NetSyn(edit_config).synthesize(
+            tiny_task.io_set, budget=SearchBudget(limit=600), seed=11, task_id=tiny_task.task_id
+        )
+        session = SynthesisSession(edit_config, ArtifactStore(), methods=("edit",))
+        service_result = session.solve(tiny_task, method="edit", budget=600, seed=11)
+        _results_equal(legacy, service_result)
+
+    def test_nn_ff_fitness_matches_legacy_path(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task
+    ):
+        legacy_netsyn = NetSyn(tiny_netsyn_config).set_models(
+            trace_artifacts=tiny_trace_artifacts, fp_artifacts=tiny_fp_artifacts
+        )
+        legacy = legacy_netsyn.synthesize(
+            tiny_task.io_set, budget=SearchBudget(limit=400), seed=11, task_id=tiny_task.task_id
+        )
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        session = SynthesisSession(tiny_netsyn_config, store, methods=("netsyn_cf",))
+        service_result = session.solve(tiny_task, method="netsyn_cf", budget=400, seed=11)
+        _results_equal(legacy, service_result)
+
+    def test_reloaded_artifacts_match_in_memory_run(
+        self, tmp_path, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task
+    ):
+        """Warm-started sessions reproduce the original session's runs."""
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        store.save(tmp_path)
+        warm = SynthesisSession(
+            tiny_netsyn_config, ArtifactStore.load(tmp_path), methods=("netsyn_cf",)
+        )
+        cold = SynthesisSession(tiny_netsyn_config, store, methods=("netsyn_cf",))
+        _results_equal(
+            cold.solve(tiny_task, budget=300, seed=7), warm.solve(tiny_task, budget=300, seed=7)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Jobs: states, cancellation, failure isolation
+# ---------------------------------------------------------------------------
+
+
+class TestJobLifecycle:
+    def test_submit_run_terminal_states(self, edit_session, tiny_suite):
+        jobs = [edit_session.submit(task, budget=300, seed=1) for task in tiny_suite]
+        assert all(job.state is JobState.PENDING for job in jobs)
+        assert [job.job_id for job in jobs] == [f"job-{i + 1}" for i in range(len(jobs))]
+        edit_session.run()
+        for job in jobs:
+            assert job.state in (JobState.SOLVED, JobState.EXHAUSTED)
+            assert job.done
+            assert job.result is not None
+            assert job.state.value == job.result.status
+            assert job.events[-1].kind == "finished"
+            assert all(event.job_id == job.job_id for event in job.events)
+
+    def test_submit_unknown_method_rejected(self, edit_session, tiny_task):
+        with pytest.raises(KeyError):
+            edit_session.submit(tiny_task, method="pushgp")
+
+    def test_cancel_pending_job(self, edit_session, tiny_task):
+        job = edit_session.submit(tiny_task, budget=300)
+        assert job.cancel()
+        assert job.state is JobState.CANCELLED
+        edit_session.run()
+        assert job.state is JobState.CANCELLED and job.result is None
+        # cancelling a terminal job is a no-op
+        assert not job.cancel()
+
+    def test_cooperative_cancel_mid_run(self, edit_session, tiny_task):
+        # contradictory examples: no program satisfies both, so the GA can
+        # never terminate early and cancellation is deterministic
+        from repro.data.tasks import SynthesisTask
+        from repro.dsl.equivalence import IOExample
+
+        impossible = SynthesisTask(
+            target=tiny_task.target,
+            io_set=[
+                IOExample(inputs=([1, 2, 3],), output=[1]),
+                IOExample(inputs=([1, 2, 3],), output=[2]),
+            ],
+            length=tiny_task.length,
+            is_singleton=False,
+            task_id="impossible",
+        )
+        job = edit_session.submit(impossible, budget=100_000, seed=2)
+
+        def cancel_after_two_generations(event):
+            if event.kind == "generation" and event.generation >= 2:
+                job.cancel()
+
+        edit_session.add_listener(cancel_after_two_generations)
+        edit_session.run()
+        assert job.state is JobState.CANCELLED
+        assert job.result is None
+        # the search stopped early: well under the submitted budget
+        generations = [e for e in job.events if e.kind == "generation"]
+        assert generations and generations[-1].generation <= 3
+
+    def test_failed_job_is_isolated(self, edit_session, tiny_task):
+        class ExplodingBackend(SynthesisBackend):
+            name = "edit"
+
+            def solve(self, task, budget=None, seed=0, listener=None):
+                raise RuntimeError("boom")
+
+        edit_session._backends[("edit", None)] = ExplodingBackend()
+        failed = edit_session.submit(tiny_task, budget=100)
+        edit_session.run()
+        assert failed.state is JobState.FAILED
+        assert "boom" in failed.error
+        assert failed.result is None
+
+    def test_session_solve_raises_on_failure(self, edit_session, tiny_task):
+        class ExplodingBackend(SynthesisBackend):
+            name = "edit"
+
+            def solve(self, task, budget=None, seed=0, listener=None):
+                raise RuntimeError("boom")
+
+        edit_session._backends[("edit", None)] = ExplodingBackend()
+        with pytest.raises(RuntimeError, match="boom"):
+            edit_session.solve(tiny_task, budget=100)
+
+    def test_progress_every_reaches_netsyn_backend(self, edit_config, tiny_task):
+        session = SynthesisSession(
+            edit_config,
+            ArtifactStore(),
+            methods=("edit",),
+            service_config=ServiceConfig(progress_every=10),
+        )
+        backend = session.backend("edit")
+        assert backend.progress_every == 10
+        assert backend.backend.progress_every == 10  # the inner NetSynBackend
+        job = session.submit(tiny_task, budget=500, seed=4)
+        session.run()
+        candidates = [e for e in job.events if e.kind == "candidates"]
+        if job.result.candidates_used >= 20:
+            assert len(candidates) >= job.result.candidates_used // 10 - 1
+
+    def test_event_retention_is_bounded(self, edit_config, tiny_task):
+        session = SynthesisSession(
+            edit_config,
+            ArtifactStore(),
+            methods=("edit",),
+            service_config=ServiceConfig(progress_every=1, max_events_per_job=25),
+        )
+        job = session.submit(tiny_task, budget=1000, seed=6)
+        session.run()
+        assert len(job.events) <= 25
+        assert job.events[-1].kind == "finished"
+
+    def test_parallel_worker_failure_marks_job_failed(self, edit_config, tiny_suite):
+        session = SynthesisSession(edit_config, ArtifactStore(), methods=("edit",))
+        jobs = [session.submit(task, budget=200, seed=0) for task in tiny_suite]
+        # an invalid budget makes the worker-side SearchBudget constructor
+        # raise for one job only; the rest of the batch must still finish
+        jobs[1].budget_limit = -1
+        session.run(n_workers=2)
+        assert jobs[1].state is JobState.FAILED
+        assert "ValueError" in jobs[1].error
+        for job in jobs[:1] + jobs[2:]:
+            assert job.state in (JobState.SOLVED, JobState.EXHAUSTED)
+
+    def test_job_to_dict(self, edit_session, tiny_task):
+        job = edit_session.submit(tiny_task, budget=200, seed=3)
+        edit_session.run()
+        data = job.to_dict()
+        assert data["state"] in ("solved", "exhausted")
+        assert data["budget_limit"] == 200
+        assert data["n_events"] == len(job.events)
+
+
+# ---------------------------------------------------------------------------
+# Service: warm starts and parallel job execution
+# ---------------------------------------------------------------------------
+
+
+class TestSynthesisService:
+    def test_open_session_trains_missing_and_persists(self, tmp_path, tiny_netsyn_config):
+        service = SynthesisService(
+            tiny_netsyn_config,
+            service_config=ServiceConfig(artifact_dir=str(tmp_path / "artifacts")),
+        )
+        session = service.open_session(methods=("netsyn_fp",))
+        assert session.store.has("fp")
+        assert ArtifactStore.saved_at(tmp_path / "artifacts")
+
+    def test_second_service_warm_starts_without_training(self, tmp_path, tiny_netsyn_config, monkeypatch):
+        config_dir = str(tmp_path / "artifacts")
+        SynthesisService(
+            tiny_netsyn_config, service_config=ServiceConfig(artifact_dir=config_dir)
+        ).open_session(methods=("netsyn_fp",))
+
+        import repro.baselines.registry as registry
+
+        def _no_training(**kwargs):
+            raise AssertionError("warm start must not retrain")
+
+        monkeypatch.setitem(registry._TRAINERS, "fp", _no_training)
+        warm = SynthesisService(
+            tiny_netsyn_config, service_config=ServiceConfig(artifact_dir=config_dir)
+        ).open_session(methods=("netsyn_fp",))
+        assert warm.store.has("fp")
+
+    def test_session_parallel_matches_serial(self, edit_config, tiny_suite):
+        def jobs_for(session):
+            return [
+                session.submit(task, budget=250, seed=run)
+                for task in tiny_suite
+                for run in range(2)
+            ]
+
+        serial_session = SynthesisSession(edit_config, ArtifactStore(), methods=("edit",))
+        serial_jobs = jobs_for(serial_session)
+        serial_session.run(n_workers=1)
+
+        parallel_session = SynthesisSession(edit_config, ArtifactStore(), methods=("edit",))
+        parallel_jobs = jobs_for(parallel_session)
+        parallel_session.run(n_workers=2)
+
+        for serial, parallel in zip(serial_jobs, parallel_jobs):
+            assert serial.state == parallel.state
+            _results_equal(serial.result, parallel.result)
+            assert parallel.events[-1].kind == "finished"
+
+    def test_evaluation_runner_exposes_session(self, tiny_netsyn_config):
+        from repro.config import ExperimentConfig
+        from repro.evaluation.runner import EvaluationRunner
+
+        experiment = ExperimentConfig(
+            lengths=(3,), n_test_programs=1, n_runs=1, max_search_space=200,
+            methods=("edit",), seed=0,
+        )
+        runner = EvaluationRunner(experiment, tiny_netsyn_config)
+        report = runner.run()
+        assert isinstance(runner.session, SynthesisSession)
+        assert len(report.records) == 1
+        assert runner.session.jobs[0].state in (JobState.SOLVED, JobState.EXHAUSTED)
+
+
+# ---------------------------------------------------------------------------
+# Legacy surface still works (deprecation layer)
+# ---------------------------------------------------------------------------
+
+
+class TestDeprecatedShims:
+    def test_netsyn_warns_but_works(self, edit_config, tiny_task):
+        with pytest.warns(DeprecationWarning):
+            netsyn = NetSyn(edit_config)
+        result = netsyn.synthesize(tiny_task.io_set, seed=1)
+        assert result.method == "netsyn_edit"
+
+    def test_build_context_populates_typed_store(self, tiny_netsyn_config):
+        context = build_context(tiny_netsyn_config, methods=["netsyn_fp"])
+        assert context.store.names() == ("fp",)
+        assert context.artifacts.keys() == {"fp"}
