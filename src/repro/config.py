@@ -191,6 +191,21 @@ class NetSynConfig:
     #: use the function-probability map to guide mutation (MutationFP)
     fp_guided_mutation: bool = True
     seed: int = 0
+    #: memoize predicted NN-FF scores per (program, io_set) and forward
+    #: only genuinely new genes each generation; False restores the
+    #: historical score-everything path (the bit-identity control)
+    memoize_scores: bool = True
+    #: capacity of the predicted-score LRU (per fitness kind)
+    score_cache_size: int = 100_000
+    #: capacity of the trace-sample LRU feeding the NN-FF encoder
+    sample_cache_size: int = 50_000
+    #: capacity of the FP probability-map LRU (one small vector per spec)
+    map_cache_size: int = 512
+    #: reuse one ExecutionEngine (and its evaluation cache) across a
+    #: backend's runs instead of building a fresh one per synthesis;
+    #: cached values are deterministic per (program, io_set), so sharing
+    #: never changes results — it only turns repeat work into lookups
+    share_evaluation_cache: bool = True
 
     dsl: DSLConfig = field(default_factory=DSLConfig)
     ga: GAConfig = field(default_factory=GAConfig)
@@ -205,6 +220,8 @@ class NetSynConfig:
             raise ValueError("program_length must be positive")
         if self.max_search_space <= 0:
             raise ValueError("max_search_space must be positive")
+        if min(self.score_cache_size, self.sample_cache_size, self.map_cache_size) < 0:
+            raise ValueError("cache sizes must be non-negative")
         self.dsl.validate()
         self.ga.validate()
         self.neighborhood.validate()
@@ -284,6 +301,16 @@ class ServiceConfig:
     save_artifacts: bool = True
     #: default worker-process count for ``SynthesisSession.run``
     n_workers: int = 1
+    #: serve Phase-1 weights to parallel workers from a shared mmap-backed
+    #: segment (packed next to the persisted weights.npz) instead of
+    #: pickling a full model copy into every worker process
+    shared_weights: bool = True
+    #: directory for the shared segment; defaults to ``artifact_dir``,
+    #: falling back to a per-session temporary directory
+    shared_dir: Optional[str] = None
+    #: snapshot the session's evaluation/score caches into the shared
+    #: segment so workers start warm (keys are process-stable)
+    share_worker_caches: bool = True
     #: budget charges between two "candidates" progress events
     progress_every: int = 50
     #: most recent events retained on each job (older ones are dropped so

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
 
+import numpy as np
+
 from repro.core.phase1 import Phase1Artifacts
 from repro.utils.serialization import PathLike, load_json, save_json
 
@@ -24,6 +26,13 @@ from repro.utils.serialization import PathLike, load_json, save_json
 ARTIFACT_NAMES: Tuple[str, ...] = ("cf", "lcs", "fp", "step", "decoder")
 
 _STORE_MANIFEST = "store.json"
+
+#: shared-memory weight segment (one flat file + a JSON layout manifest)
+SHARED_WEIGHTS_BIN = "shared_weights.bin"
+SHARED_WEIGHTS_MANIFEST = "shared_weights.json"
+
+#: alignment of each parameter inside the packed segment (cache lines)
+_SHARED_ALIGN = 64
 
 
 class MissingArtifactError(KeyError):
@@ -146,3 +155,99 @@ class ArtifactStore:
     def saved_at(directory: PathLike) -> bool:
         """True when ``directory`` holds a persisted store manifest."""
         return (Path(directory) / _STORE_MANIFEST).is_file()
+
+    # ------------------------------------------------------------------
+    # shared-memory model serving
+    # ------------------------------------------------------------------
+    def pack_shared(self, directory: PathLike) -> Path:
+        """Pack every present model's weights into one mmap-able segment.
+
+        :meth:`save` persists per-artifact ``weights.npz`` archives — the
+        durable, lossless form — but a compressed zip cannot be
+        memory-mapped.  This writes the same float64 parameters, 64-byte
+        aligned, into a single flat ``shared_weights.bin`` next to them,
+        plus a JSON manifest recording each parameter's byte offset and
+        shape.  :meth:`attach_shared` then maps that file read-only, so
+        any number of worker processes share one set of physical pages
+        instead of each holding a private copy of every model.
+
+        Requires the store to have been :meth:`save`\\ d to the same
+        directory first (attachment rebuilds models from the per-artifact
+        metadata written there).
+        """
+        directory = Path(directory)
+        if not self.saved_at(directory):
+            raise FileNotFoundError(
+                f"no persisted store at {directory}; call save() before pack_shared()"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        layout: Dict[str, Dict[str, dict]] = {}
+        offset = 0
+        blobs = []
+        for name in self.names():
+            state = self.get(name).model.state_dict()
+            params: Dict[str, dict] = {}
+            for param_name, value in state.items():
+                value = np.ascontiguousarray(value, dtype="<f8")
+                padding = (-offset) % _SHARED_ALIGN
+                offset += padding
+                blobs.append((padding, value))
+                params[param_name] = {"offset": offset, "shape": list(value.shape)}
+                offset += value.nbytes
+            layout[name] = params
+        with (directory / SHARED_WEIGHTS_BIN).open("wb") as handle:
+            for padding, value in blobs:
+                if padding:
+                    handle.write(b"\0" * padding)
+                handle.write(value.tobytes())
+        save_json(
+            directory / SHARED_WEIGHTS_MANIFEST,
+            {
+                "format_version": 1,
+                "dtype": "<f8",
+                "total_bytes": offset,
+                "artifacts": layout,
+            },
+        )
+        return directory / SHARED_WEIGHTS_BIN
+
+    @classmethod
+    def attach_shared(
+        cls, directory: PathLike, names: Optional[Iterable[str]] = None
+    ) -> "ArtifactStore":
+        """Attach a store whose model weights alias the packed segment.
+
+        The returned store's models are rebuilt from the per-artifact
+        metadata saved by :meth:`save`, but their parameters are read-only
+        views into a single ``np.memmap`` of ``shared_weights.bin`` —
+        byte-identical to the persisted ``weights.npz`` values, at near
+        zero per-process memory cost.  Models served this way are for
+        inference only (training would write through the mapping).
+        """
+        directory = Path(directory)
+        manifest = load_json(directory / SHARED_WEIGHTS_MANIFEST)
+        layout: Dict[str, Dict[str, dict]] = manifest["artifacts"]
+        dtype = np.dtype(manifest.get("dtype", "<f8"))
+        wanted = tuple(layout) if names is None else tuple(n for n in names if n in layout)
+        store = cls()
+        if not wanted:
+            return store
+        segment = np.memmap(directory / SHARED_WEIGHTS_BIN, dtype=np.uint8, mode="r")
+        for name in wanted:
+            state: Dict[str, np.ndarray] = {}
+            for param_name, spec in layout[name].items():
+                shape = tuple(int(x) for x in spec["shape"])
+                nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+                start = int(spec["offset"])
+                view = segment[start : start + nbytes].view(dtype).reshape(shape)
+                state[param_name] = view
+            store.set(name, Phase1Artifacts.load(directory / name, state=state, copy=False))
+        return store
+
+    @staticmethod
+    def shared_at(directory: PathLike) -> bool:
+        """True when ``directory`` holds a packed shared-weight segment."""
+        directory = Path(directory)
+        return (directory / SHARED_WEIGHTS_MANIFEST).is_file() and (
+            directory / SHARED_WEIGHTS_BIN
+        ).is_file()

@@ -35,7 +35,7 @@ from repro.dsl.equivalence import IOSet
 from repro.dsl.interpreter import Interpreter
 from repro.dsl.program import Program
 from repro.events import ProgressListener
-from repro.execution import ExecutionEngine
+from repro.execution import ExecutionEngine, LRUCache, ScoreCache
 from repro.fitness.base import FitnessFunction
 from repro.fitness.functions import (
     EditDistanceFitness,
@@ -65,6 +65,13 @@ class NetSynBackend(SynthesisBackend):
         self._trace_artifacts: Optional[Phase1Artifacts] = None
         self._fp_artifacts: Optional[Phase1Artifacts] = None
         self._fitted = False
+        # Long-lived memo state shared across this backend's runs: every
+        # cached value is a deterministic function of (program, io_set),
+        # so reuse across jobs cannot change results, only skip work.
+        self._shared_executor: Optional[ExecutionEngine] = None
+        self._score_cache: Optional[ScoreCache] = None
+        self._sample_cache: Optional[LRUCache] = None
+        self._map_cache: Optional[LRUCache] = None
 
     # ------------------------------------------------------------------
     @property
@@ -134,10 +141,24 @@ class NetSynBackend(SynthesisBackend):
                 memberships=fp_memberships,
                 verbose=verbose,
             )
+        self._reset_memo_caches()
         self._fitted = True
         return self
 
     # ------------------------------------------------------------------
+    def _reset_memo_caches(self) -> None:
+        """Drop every backend-lifetime memo when the models change.
+
+        Cached predicted scores, probability maps and the fp score entries
+        living in the shared executor are functions of the *model*, not
+        just of ``(program, io_set)`` — serving them across a refit or
+        rebind would steer the GA with the old model's numbers.
+        """
+        self._shared_executor = None
+        self._score_cache = None
+        self._sample_cache = None
+        self._map_cache = None
+
     def set_models(
         self,
         trace_artifacts: Optional[Phase1Artifacts] = None,
@@ -148,6 +169,7 @@ class NetSynBackend(SynthesisBackend):
             self._trace_artifacts = trace_artifacts
         if fp_artifacts is not None:
             self._fp_artifacts = fp_artifacts
+        self._reset_memo_caches()
         self._fitted = True
         return self
 
@@ -158,6 +180,42 @@ class NetSynBackend(SynthesisBackend):
             trace = store.get(self.config.fitness_kind)
         fp = store.get("fp") if self.needs_fp_model else None
         return self.set_models(trace_artifacts=trace, fp_artifacts=fp)
+
+    # ------------------------------------------------------------------
+    def cache_snapshot(self) -> Optional[dict]:
+        """Picklable snapshot of this backend's warm memo caches.
+
+        Exports the predicted-score cache and the compact evaluation
+        entries (outputs and solution verdicts; execution traces stay
+        behind — they dominate the bytes and re-derive in one execution).
+        All keys are structural, so the snapshot can warm-start the same
+        backend in another process (see ``SynthesisSession.run``).
+        """
+        data: dict = {}
+        if self._score_cache is not None and len(self._score_cache):
+            data["scores"] = self._score_cache.snapshot()
+        if self._shared_executor is not None and len(self._shared_executor.cache):
+            entries = self._shared_executor.cache.snapshot(("outputs", "solutions"))
+            if entries:
+                data["evaluation"] = entries
+        return data or None
+
+    def load_cache_snapshot(self, data: Optional[dict]) -> None:
+        """Warm-start the memo caches from :meth:`cache_snapshot` output."""
+        if not data:
+            return
+        cfg = self.config
+        if "scores" in data and cfg.memoize_scores:
+            if self._score_cache is None:
+                self._score_cache = ScoreCache(
+                    capacity=cfg.score_cache_size,
+                    namespace=f"score:nnff_{cfg.fitness_kind}",
+                )
+            self._score_cache.load_snapshot(data["scores"])
+        if "evaluation" in data and cfg.share_evaluation_cache:
+            if self._shared_executor is None:
+                self._shared_executor = ExecutionEngine()
+            self._shared_executor.cache.load_snapshot(data["evaluation"])
 
     # ------------------------------------------------------------------
     def build_fitness(
@@ -171,21 +229,36 @@ class NetSynBackend(SynthesisBackend):
         the fitness reuse executions cached by the GA's solution check
         (and vice versa).
         """
-        kind = self.config.fitness_kind
+        cfg = self.config
+        kind = cfg.fitness_kind
         if kind in ("cf", "lcs"):
             if self._trace_artifacts is None:
                 raise RuntimeError("call fit() before synthesize(): the trace model is untrained")
+            if cfg.memoize_scores and self._score_cache is None:
+                self._score_cache = ScoreCache(
+                    capacity=cfg.score_cache_size, namespace=f"score:nnff_{kind}"
+                )
+            if self._sample_cache is None:
+                self._sample_cache = LRUCache(cfg.sample_cache_size)
             return LearnedTraceFitness(
                 self._trace_artifacts.model,
                 kind=kind,
                 encoder=self._trace_artifacts.encoder,
                 executor=executor,
+                memoize=cfg.memoize_scores,
+                score_cache=self._score_cache,
+                sample_cache=self._sample_cache,
+                program_length=cfg.program_length,
             )
         if kind == "fp":
             if self._fp_artifacts is None:
                 raise RuntimeError("call fit() before synthesize(): the FP model is untrained")
             return ProbabilityMapFitness(
-                self._fp_artifacts.model, encoder=self._fp_artifacts.encoder, executor=executor
+                self._fp_artifacts.model,
+                encoder=self._fp_artifacts.encoder,
+                executor=executor,
+                cache_tag="fp",
+                map_cache=self._fp_map_cache(),
             )
         if kind == "edit":
             return EditDistanceFitness(executor=executor)
@@ -195,13 +268,23 @@ class NetSynBackend(SynthesisBackend):
             return OracleFitness(target, kind=kind.split("_", 1)[1], executor=executor)
         raise ValueError(f"unknown fitness kind {kind!r}")
 
+    def _fp_map_cache(self) -> LRUCache:
+        """The backend-lifetime probability-map LRU (built on first use)."""
+        if self._map_cache is None:
+            self._map_cache = LRUCache(self.config.map_cache_size)
+        return self._map_cache
+
     def _fp_fitness_for_mutation(
         self, executor: Optional[ExecutionEngine] = None
     ) -> Optional[ProbabilityMapFitness]:
         if not self.config.fp_guided_mutation or self._fp_artifacts is None:
             return None
         return ProbabilityMapFitness(
-            self._fp_artifacts.model, encoder=self._fp_artifacts.encoder, executor=executor
+            self._fp_artifacts.model,
+            encoder=self._fp_artifacts.encoder,
+            executor=executor,
+            cache_tag="fp",
+            map_cache=self._fp_map_cache(),
         )
 
     # ------------------------------------------------------------------
@@ -238,10 +321,19 @@ class NetSynBackend(SynthesisBackend):
         budget = budget or SearchBudget(limit=cfg.max_search_space)
         run_factory = self._factory if seed is None else RngFactory(seed)
 
-        # One execution engine per run: the GA solution check, every
-        # fitness evaluation and the neighborhood search share its cache,
-        # so each candidate is interpreted at most once per specification.
-        executor = ExecutionEngine()
+        # One execution engine shared by the GA solution check, every
+        # fitness evaluation and the neighborhood search, so each candidate
+        # is interpreted at most once per specification.  With
+        # ``share_evaluation_cache`` the engine also persists across this
+        # backend's runs (fit-once-serve-many sessions re-solve the same
+        # specs with different seeds): every cached value is deterministic
+        # per (program, io_set), so reuse cannot change results.
+        if cfg.share_evaluation_cache:
+            if self._shared_executor is None:
+                self._shared_executor = ExecutionEngine()
+            executor = self._shared_executor
+        else:
+            executor = ExecutionEngine()
         fitness = self.build_fitness(target=target, executor=executor)
         fp_fitness = self._fp_fitness_for_mutation(executor=executor)
 
@@ -405,3 +497,6 @@ class _WithProbabilityMap(FitnessFunction):
 
     def probability_map(self, io_set):
         return self.fp_fitness.probability_map(io_set)
+
+    def cache_stats(self):
+        return self.primary.cache_stats() + self.fp_fitness.cache_stats()

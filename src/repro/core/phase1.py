@@ -119,13 +119,26 @@ class Phase1Artifacts:
         )
 
     @classmethod
-    def load(cls, directory: PathLike) -> "Phase1Artifacts":
-        """Reload artifacts persisted by :meth:`save`."""
+    def load(
+        cls,
+        directory: PathLike,
+        state: Optional[Dict[str, np.ndarray]] = None,
+        copy: bool = True,
+    ) -> "Phase1Artifacts":
+        """Reload artifacts persisted by :meth:`save`.
+
+        ``state`` overrides the weight source: shared-memory serving
+        passes mmap-backed views of a packed segment (with ``copy=False``)
+        so every worker process aliases one set of physical pages instead
+        of materializing its own copy of ``weights.npz``.
+        """
         directory = Path(directory)
         meta = load_json(directory / _ARTIFACTS_META)
         nn = NNConfig(**meta["nn_config"])
         model = _build_model(meta["model_class"], meta.get("model_meta", {}), nn)
-        model.load_state_dict(load_npz(directory / _ARTIFACTS_WEIGHTS))
+        if state is None:
+            state = load_npz(directory / _ARTIFACTS_WEIGHTS)
+        model.load_state_dict(state, copy=copy)
         history_meta = meta.get("history", {})
         history = TrainingHistory(
             train_loss=list(history_meta.get("train_loss", [])),

@@ -36,8 +36,13 @@ Seeded runs through this layer are bit-identical to the deprecated
 
 from __future__ import annotations
 
+import atexit
 import enum
+import pickle
+import shutil
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import NetSynConfig, ServiceConfig
@@ -127,6 +132,94 @@ _ServiceJobSpec = Tuple[str, Optional[int], SynthesisTask, int, int]
 
 _WORKER_BACKENDS: Dict[Any, Any] = {}
 
+#: per-process memo of attached shared stores, keyed by (directory, token)
+#: — the token changes whenever the segment is re-packed, so a process
+#: that re-resolves the same directory after a retrain re-attaches
+#: instead of serving memmap views laid out for the old file
+_ATTACHED_STORES: Dict[Tuple[str, str], ArtifactStore] = {}
+
+
+def _segment_token(directory: str) -> str:
+    """Identity of the packed segment currently on disk (mtime + size)."""
+    from repro.core.artifacts import SHARED_WEIGHTS_BIN
+
+    try:
+        stat = (Path(directory) / SHARED_WEIGHTS_BIN).stat()
+        return f"{stat.st_mtime_ns}:{stat.st_size}"
+    except OSError:
+        return "missing"
+
+#: name of the pickled cache snapshot inside a shared segment directory
+_CACHE_SNAPSHOT = "cache_snapshot.pkl"
+
+
+@dataclass
+class SharedWorkerPayload:
+    """What crosses the process boundary under shared-memory serving.
+
+    Instead of pickling every trained model into every worker, the parent
+    ships this tiny descriptor; :meth:`resolve_in_worker` (called once
+    per worker by the pool initializer) attaches the packed weight
+    segment via ``np.memmap`` — so all workers alias one set of physical
+    pages — and loads the optional warm-cache snapshot.
+    """
+
+    directory: str
+    config: NetSynConfig
+    names: Tuple[str, ...] = ()
+    snapshot_file: Optional[str] = None
+    #: identity of the packed segment (set by the parent at pack time);
+    #: part of the attach-memo key so a re-packed segment re-attaches
+    token: str = ""
+    #: per-process memo of the loaded snapshot file (not part of the
+    #: pickled payload; populated lazily by :meth:`cache_snapshots`)
+    _loaded_snapshots: Optional[Dict[str, dict]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def resolve_in_worker(self) -> "SharedWorkerPayload":
+        """Attach the shared store (memoized per process) and return self."""
+        key = (self.directory, self.token)
+        if key not in _ATTACHED_STORES:
+            _ATTACHED_STORES[key] = ArtifactStore.attach_shared(
+                self.directory, names=self.names or None
+            )
+        return self
+
+    @property
+    def store(self) -> ArtifactStore:
+        key = (self.directory, self.token)
+        if key not in _ATTACHED_STORES:
+            self.resolve_in_worker()
+        return _ATTACHED_STORES[key]
+
+    def cache_snapshots(self) -> Dict[str, dict]:
+        """The warm-cache snapshot shipped with the segment (may be empty).
+
+        Loaded lazily and memoized on the payload instance — the instance
+        lives for the whole worker process, so the pickle is read once
+        per worker, not once per job.
+        """
+        if not self.snapshot_file:
+            return {}
+        if self._loaded_snapshots is None:
+            try:
+                with open(self.snapshot_file, "rb") as handle:
+                    self._loaded_snapshots = pickle.load(handle)
+            except (OSError, pickle.PickleError):  # pragma: no cover - defensive
+                self._loaded_snapshots = {}
+        return self._loaded_snapshots
+
+
+def _unpack_payload(payload: Any) -> Tuple[ArtifactStore, NetSynConfig, Dict[str, dict]]:
+    """Store/config/snapshots from either payload shape (tuple or shared)."""
+    if hasattr(payload, "raise_"):  # PayloadResolutionError from the initializer
+        payload.raise_()
+    if isinstance(payload, SharedWorkerPayload):
+        return payload.store, payload.config, payload.cache_snapshots()
+    store, config = payload
+    return store, config, {}
+
 
 def _run_service_job(spec: _ServiceJobSpec) -> Tuple[Optional[SynthesisResult], Optional[str]]:
     """Execute one job in a worker process (or serially as a fallback).
@@ -143,7 +236,7 @@ def _run_service_job(spec: _ServiceJobSpec) -> Tuple[Optional[SynthesisResult], 
 
     method, length, task, seed, budget_limit = spec
     try:
-        store, config = worker_payload()
+        store, config, snapshots = _unpack_payload(worker_payload())
         if _WORKER_BACKENDS.get("__store__") is not store:
             _WORKER_BACKENDS.clear()
             _WORKER_BACKENDS["__store__"] = store
@@ -151,6 +244,9 @@ def _run_service_job(spec: _ServiceJobSpec) -> Tuple[Optional[SynthesisResult], 
         backend = _WORKER_BACKENDS.get(key)
         if backend is None:
             backend = build_backend(method, store, config, program_length=length)
+            snapshot = snapshots.get(f"{method}:{length}")
+            if snapshot and hasattr(backend, "load_cache_snapshot"):
+                backend.load_cache_snapshot(snapshot)
             _WORKER_BACKENDS[key] = backend
         result = backend.solve(task, budget=SearchBudget(limit=budget_limit), seed=seed)
     except Exception as error:  # noqa: BLE001 - job isolation boundary
@@ -176,6 +272,8 @@ class SynthesisSession:
         self._backends: Dict[Tuple[str, Optional[int]], SynthesisBackend] = {}
         self._listeners: List[ProgressListener] = []
         self._next_job_number = 0
+        self._shared_dir: Optional[Path] = None
+        self._shared_packed = False
 
     # ------------------------------------------------------------------
     def add_listener(self, listener: ProgressListener) -> None:
@@ -282,6 +380,60 @@ class SynthesisSession:
         job.state = JobState.SOLVED if result.found else JobState.EXHAUSTED
 
     # ------------------------------------------------------------------
+    def _shared_directory(self) -> Path:
+        """The directory holding the shared weight segment for workers."""
+        if self._shared_dir is None:
+            configured = self.service_config.shared_dir or self.service_config.artifact_dir
+            if configured:
+                self._shared_dir = Path(configured)
+            else:
+                self._shared_dir = Path(tempfile.mkdtemp(prefix="netsyn-shared-"))
+                atexit.register(shutil.rmtree, str(self._shared_dir), ignore_errors=True)
+        return self._shared_dir
+
+    def _worker_payload(self) -> Any:
+        """Build the cross-process payload for a parallel run.
+
+        With ``shared_weights`` the trained models are persisted once
+        (``weights.npz``), packed into a flat mmap-able segment, and only
+        a path descriptor crosses the process boundary — each worker
+        attaches the segment read-only instead of unpickling its own
+        model copies.  ``share_worker_caches`` additionally snapshots the
+        session backends' score/evaluation caches (structural keys are
+        process-stable) so workers start warm.  Falls back to pickling
+        ``(store, config)`` when shared serving is disabled.
+        """
+        if not self.service_config.shared_weights or not self.store.names():
+            # nothing trained to share (e.g. an artifact-free edit/oracle
+            # session): ship the store directly, it is empty or tiny
+            return (self.store, self.config)
+        directory = self._shared_directory()
+        if not self._shared_packed:
+            self.store.save(directory)
+            self.store.pack_shared(directory)
+            self._shared_packed = True
+        snapshot_file = None
+        if self.service_config.share_worker_caches:
+            snapshots = {
+                f"{method}:{length}": snapshot
+                for (method, length), backend in self._backends.items()
+                for snapshot in [getattr(backend, "cache_snapshot", lambda: None)()]
+                if snapshot
+            }
+            if snapshots:
+                path = directory / _CACHE_SNAPSHOT
+                with path.open("wb") as handle:
+                    pickle.dump(snapshots, handle)
+                snapshot_file = str(path)
+        return SharedWorkerPayload(
+            directory=str(directory),
+            config=self.config,
+            names=self.store.names(),
+            snapshot_file=snapshot_file,
+            token=_segment_token(str(directory)),
+        )
+
+    # ------------------------------------------------------------------
     def run(
         self,
         jobs: Optional[Sequence[SynthesisJob]] = None,
@@ -309,7 +461,7 @@ class SynthesisSession:
             runner = ParallelTaskRunner(
                 n_workers=n_workers,
                 seed=self.config.seed,
-                payload=(self.store, self.config),
+                payload=self._worker_payload(),
             )
             for job, (result, error) in zip(pending, runner.map(_run_service_job, specs)):
                 if result is None:

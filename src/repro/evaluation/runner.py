@@ -22,7 +22,7 @@ import numpy as np
 from repro.baselines.base import SynthesizerContext
 from repro.baselines.ga_adapters import make_netsyn_synthesizer
 from repro.baselines.registry import build_context
-from repro.config import ExperimentConfig, NetSynConfig
+from repro.config import ExperimentConfig, NetSynConfig, ServiceConfig
 from repro.core.phase1 import train_fp_model, train_trace_model
 from repro.core.service import SynthesisSession
 from repro.data.tasks import BenchmarkSuite, make_benchmark_suite
@@ -52,6 +52,40 @@ logger = get_logger("evaluation.runner")
 _WORKER_STATE: Dict[str, Any] = {}
 
 
+class PayloadResolutionError:
+    """Marker carrying a worker-side payload attachment failure.
+
+    Raising inside a pool *initializer* kills the worker and makes the
+    pool respawn it forever (the map never completes), so resolution
+    failures are captured and re-raised lazily by whichever job first
+    consumes the payload — that job fails cleanly instead of hanging the
+    whole run.
+    """
+
+    def __init__(self, error: BaseException) -> None:
+        self.message = f"worker payload resolution failed: {type(error).__name__}: {error}"
+
+    def raise_(self) -> None:
+        raise RuntimeError(self.message)
+
+
+def _resolve_payload(payload: Any) -> Any:
+    """Give payload descriptors a chance to attach per-process resources.
+
+    A payload exposing ``resolve_in_worker()`` (e.g. the service layer's
+    ``SharedWorkerPayload``) is resolved exactly once per process — this
+    is where shared-memory model serving mmaps the packed weight segment
+    instead of unpickling model objects into the worker.
+    """
+    resolve = getattr(payload, "resolve_in_worker", None)
+    if not callable(resolve):
+        return payload
+    try:
+        return resolve()
+    except Exception as error:  # noqa: BLE001 - must not kill the initializer
+        return PayloadResolutionError(error)
+
+
 def _parallel_worker_init(seed: int, payload: Any) -> None:
     """Initialize one worker: seed its RNGs and stash the shared payload.
 
@@ -61,7 +95,7 @@ def _parallel_worker_init(seed: int, payload: Any) -> None:
     parallel results byte-identical to serial ones.
     """
     np.random.seed((int(seed) * 1_000_003 + os.getpid()) % (2**32))
-    _WORKER_STATE["payload"] = payload
+    _WORKER_STATE["payload"] = _resolve_payload(payload)
 
 
 class ParallelTaskRunner:
@@ -93,7 +127,7 @@ class ParallelTaskRunner:
         """
         items = list(items)
         if self.n_workers <= 1 or len(items) <= 1:
-            _WORKER_STATE["payload"] = self.payload
+            _WORKER_STATE["payload"] = _resolve_payload(self.payload)
             try:
                 return [fn(item) for item in items]
             finally:
@@ -151,6 +185,7 @@ class EvaluationRunner:
         context: Optional[SynthesizerContext] = None,
         verbose: bool = False,
         n_workers: int = 1,
+        service_config: Optional[ServiceConfig] = None,
     ) -> None:
         self.experiment = (experiment or ExperimentConfig()).scaled()
         self.experiment.validate()
@@ -158,6 +193,7 @@ class EvaluationRunner:
         self.base_config.validate()
         self.verbose = verbose
         self.n_workers = int(n_workers)
+        self.service_config = service_config
         self._context = context
         self._session: Optional[SynthesisSession] = None
 
@@ -184,6 +220,7 @@ class EvaluationRunner:
                 self.context.config,
                 self.context.store,
                 methods=self.experiment.methods,
+                service_config=self.service_config,
             )
         return self._session
 

@@ -16,11 +16,14 @@ from repro.execution.cache import (
     program_key,
 )
 from repro.execution.engine import ExecutionEngine, uncached_engine
+from repro.execution.score_cache import LRUCache, ScoreCache
 
 __all__ = [
     "CacheStats",
     "EvaluationCache",
     "ExecutionEngine",
+    "LRUCache",
+    "ScoreCache",
     "freeze_value",
     "io_set_key",
     "program_key",

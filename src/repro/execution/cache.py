@@ -153,6 +153,33 @@ class EvaluationCache:
         """Drop every entry (the stats object is preserved)."""
         self._store.clear()
 
+    # ------------------------------------------------------------------
+    def snapshot(self, namespaces: Optional[Tuple[str, ...]] = None) -> list:
+        """Picklable ``((namespace, key), value)`` pairs, oldest first.
+
+        Keys are structural (process-stable), so a snapshot taken in one
+        process can warm-start the cache of another; ``namespaces``
+        restricts the export (e.g. to the compact ``outputs`` /
+        ``solutions`` entries, leaving heavyweight traces behind).
+        """
+        if namespaces is None:
+            return list(self._store.items())
+        wanted = set(namespaces)
+        return [(key, value) for key, value in self._store.items() if key[0] in wanted]
+
+    def load_snapshot(self, items) -> int:
+        """Bulk-insert snapshot pairs; returns how many were stored.
+
+        Values are deterministic per key, so loading a snapshot can never
+        change results — existing entries are simply overwritten with the
+        identical value.
+        """
+        count = 0
+        for (namespace, key), value in items:
+            self.put(namespace, key, value)
+            count += 1
+        return count
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"EvaluationCache(entries={len(self._store)}, max={self.max_entries}, "

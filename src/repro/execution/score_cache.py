@@ -1,0 +1,210 @@
+"""Memoization of predicted NN-FF fitness per ``(program, io_set)``.
+
+The GA re-scores its whole population every generation, but most members
+— elites, reproduced survivors, genes re-visited by the neighborhood
+search — were already scored in an earlier generation.  Pre-memoization
+the NN forward pass could not skip them: padding widths (and the BLAS
+kernels selected for the batch) depended on batch composition, so the
+same program could score differently depending on who it shared a batch
+with.  With the batch-shape-invariant encoder/model path (fixed padding
+widths, trailing-pad trimming, never-singleton GEMM batches) a program's
+predicted fitness is one well-defined number, and this module caches it:
+
+* :class:`LRUCache` — a generic bounded least-recently-used store with
+  hit/miss/eviction counters (also used to bound the fitness layer's
+  sample and probability-map caches).
+* :class:`ScoreCache` — an LRU of predicted fitness values keyed by the
+  structural ``(program, io_set)`` keys of :mod:`repro.execution.cache`
+  (process-stable, so contents can be snapshotted across workers), plus
+  the batch-partitioning helper the fitness layer uses to forward only
+  genuinely new genes.
+
+Memoized values are deterministic functions of ``(program, io_set)``, so
+— exactly like the :class:`~repro.execution.cache.EvaluationCache` —
+the cache can never change the result of a run, only its cost.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dsl.program import Program
+from repro.execution.cache import CacheStats, program_key
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping with hit/miss counters.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries.  When the bound is reached the least
+        recently *used* (read or written) entry is evicted.  ``0``
+        disables storage entirely: every ``get`` misses and ``put`` is a
+        no-op, which is how the bit-identity controls are built.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._store: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key: Hashable, default: Any = None, namespace: str = "lru") -> Any:
+        """Cached value (marking it most-recently-used) or ``default``."""
+        value = self._store.get(key, _MISSING)
+        hit = value is not _MISSING
+        self.stats.record(namespace, hit)
+        if not hit:
+            return default
+        self._store.move_to_end(key)
+        return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` but touching neither counters nor recency."""
+        value = self._store.get(key, _MISSING)
+        return default if value is _MISSING else value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value``, evicting the least recently used entry if full."""
+        if not self.enabled:
+            return
+        if key in self._store:
+            self._store.move_to_end(key)
+        elif len(self._store) >= self.capacity:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+        self._store[key] = value
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._store.clear()
+
+    def items(self) -> List[Tuple[Hashable, Any]]:
+        """Snapshot of the entries, least recently used first."""
+        return list(self._store.items())
+
+    def load(self, items: Sequence[Tuple[Hashable, Any]]) -> int:
+        """Bulk-insert snapshot entries (e.g. from another process).
+
+        Returns the number of entries retained after the bound is applied
+        (a snapshot larger than the capacity keeps only its tail; a
+        disabled cache retains nothing).  Existing entries are
+        overwritten — values are deterministic per key, so this can only
+        refresh recency.
+        """
+        count = 0
+        for key, value in items:
+            self.put(key, value)
+            if key in self._store:
+                count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LRUCache(entries={len(self._store)}, capacity={self.capacity}, "
+            f"hit_rate={self.stats.hit_rate:.3f})"
+        )
+
+
+class ScoreCache:
+    """Predicted-fitness memo keyed by structural ``(program, io_set)`` keys.
+
+    One instance serves one scoring model (the namespace keeps two models
+    from ever reading each other's values).  Keys are process-stable, so
+    snapshots taken with :meth:`snapshot` can warm-start the score cache
+    of a worker process (see ``docs/execution.md``).
+    """
+
+    def __init__(self, capacity: int = 100_000, namespace: str = "score") -> None:
+        self.namespace = namespace
+        self._lru = LRUCache(capacity)
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._lru.capacity
+
+    @property
+    def enabled(self) -> bool:
+        return self._lru.enabled
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    # ------------------------------------------------------------------
+    def get(self, program: Program, io_key: Tuple) -> Optional[float]:
+        """Cached predicted fitness of ``program`` on the spec, or ``None``."""
+        return self._lru.get((program_key(program), io_key), namespace=self.namespace)
+
+    def put(self, program: Program, io_key: Tuple, value: float) -> None:
+        self._lru.put((program_key(program), io_key), float(value))
+
+    def put_key(self, key: Tuple[int, ...], io_key: Tuple, value: float) -> None:
+        """Store by precomputed program key (used by the batch fill path)."""
+        self._lru.put((key, io_key), float(value))
+
+    # ------------------------------------------------------------------
+    def partition(
+        self, programs: Sequence[Program], io_key: Tuple
+    ) -> Tuple[np.ndarray, "OrderedDict[Tuple[int, ...], Tuple[Program, List[int]]]"]:
+        """Split a population into cached scores and genes still to forward.
+
+        Returns ``(scores, pending)`` where ``scores[i]`` is filled for
+        every cache hit and ``pending`` maps each *distinct* uncached
+        program key — in first-occurrence order, so forward batches are
+        deterministic — to ``(program, positions)``; duplicated genes are
+        forwarded once and fanned out to every position.
+        """
+        scores = np.zeros(len(programs))
+        pending: "OrderedDict[Tuple[int, ...], Tuple[Program, List[int]]]" = OrderedDict()
+        for index, program in enumerate(programs):
+            key = program_key(program)
+            cached = self._lru.get((key, io_key), _MISSING, namespace=self.namespace)
+            if cached is not _MISSING:
+                scores[index] = cached
+            elif key in pending:
+                pending[key][1].append(index)
+            else:
+                pending[key] = (program, [index])
+        return scores, pending
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[Tuple[Hashable, float]]:
+        """Picklable contents (keys are structural, so cross-process safe)."""
+        return self._lru.items()
+
+    def load_snapshot(self, items: Sequence[Tuple[Hashable, float]]) -> int:
+        """Warm-start from a snapshot taken in another process."""
+        return self._lru.load(items)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScoreCache(namespace={self.namespace!r}, entries={len(self)}, "
+            f"capacity={self.capacity}, hit_rate={self.stats.hit_rate:.3f})"
+        )

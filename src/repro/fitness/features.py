@@ -118,10 +118,36 @@ class FeatureEncoder:
         being embedded.
     registry:
         DSL function registry; determines the function-index space.
+    pad_value_width:
+        When set, every token/mask array is padded to exactly this many
+        columns instead of the longest sequence in the batch, so the
+        encoded arrays — and therefore the model's forward pass — do not
+        depend on batch composition.  Must be at least
+        ``max_value_length`` (the longest sequence any row can produce).
+    pad_program_length:
+        When set, the step dimension of :meth:`encode_trace_batch` is
+        padded to exactly this many steps instead of the longest program
+        in the batch.  Samples longer than this are rejected.
+
+    The two ``pad_*`` widths are what makes scoring batch-shape-invariant
+    (see ``docs/execution.md``); trailing all-padding columns are exact
+    no-ops for the masked encoders, and the models skip them, so fixed
+    widths cost nothing at inference time.
     """
 
     max_value_length: int = 16
     registry: FunctionRegistry = field(default_factory=lambda: REGISTRY)
+    pad_value_width: Optional[int] = None
+    pad_program_length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.pad_value_width is not None and self.pad_value_width < self.max_value_length:
+            raise ValueError(
+                f"pad_value_width={self.pad_value_width} is below "
+                f"max_value_length={self.max_value_length}; rows could overflow it"
+            )
+        if self.pad_program_length is not None and self.pad_program_length <= 0:
+            raise ValueError("pad_program_length must be positive")
 
     # ------------------------------------------------------------------
     @property
@@ -134,9 +160,16 @@ class FeatureEncoder:
         return [value_to_token(v) for v in flat]
 
     def _pack_values(self, values: Sequence[Value]) -> Tuple[np.ndarray, np.ndarray]:
-        """Pad a list of DSL values into (tokens, mask) arrays."""
+        """Pad a list of DSL values into (tokens, mask) arrays.
+
+        The width is the longest sequence in the batch, or the fixed
+        ``pad_value_width`` when configured (batch-shape invariance).
+        """
         sequences = [self.encode_value(v) for v in values]
-        width = max(1, max((len(s) for s in sequences), default=1))
+        if self.pad_value_width is not None:
+            width = self.pad_value_width
+        else:
+            width = max(1, max((len(s) for s in sequences), default=1))
         tokens = np.full((len(sequences), width), VALUE_PAD, dtype=np.int64)
         mask = np.zeros((len(sequences), width), dtype=np.float64)
         for row, seq in enumerate(sequences):
@@ -168,6 +201,13 @@ class FeatureEncoder:
             raise ValueError("all samples in a batch must have the same number of IO examples")
         batch = len(samples)
         max_len = max(s.program_length for s in samples)
+        if self.pad_program_length is not None:
+            if max_len > self.pad_program_length:
+                raise ValueError(
+                    f"sample of length {max_len} exceeds "
+                    f"pad_program_length={self.pad_program_length}"
+                )
+            max_len = self.pad_program_length
 
         # flatten (sample, example) pairs
         flat_inputs: List[Value] = []

@@ -11,7 +11,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +20,8 @@ from repro.dsl.equivalence import IOSet
 from repro.dsl.functions import FunctionRegistry, REGISTRY
 from repro.dsl.interpreter import Interpreter
 from repro.dsl.program import Program
-from repro.execution import ExecutionEngine, io_set_key
+from repro.execution import ExecutionEngine, LRUCache, ScoreCache, io_set_key
+from repro.execution.cache import CacheStats, program_key
 from repro.fitness.base import FitnessFunction
 from repro.fitness.features import FeatureEncoder, FitnessSample, sample_from_execution
 from repro.fitness.ideal import (
@@ -48,6 +50,16 @@ class LearnedTraceFitness(FitnessFunction):
     The score of a candidate is the model's *expected* class value (a soft
     version of the predicted CF/LCS), which gives the Roulette Wheel
     smoother weights than the hard argmax.
+
+    Scoring is memoized per ``(program, io_set)`` by default: the encoder
+    pads every batch to fixed, config-derived widths and forward batches
+    are never singletons (a lone gene is doubled and the first row kept),
+    so a program's predicted score does not depend on which other genes
+    share its batch — which is what makes skipping already-scored genes
+    safe.  Elites, reproduced survivors and re-visited neighbors then cost
+    one :class:`~repro.execution.ScoreCache` lookup instead of a forward
+    pass.  ``memoize=False`` restores the historical
+    score-everything-every-generation path (the bit-identity control).
     """
 
     def __init__(
@@ -58,6 +70,12 @@ class LearnedTraceFitness(FitnessFunction):
         interpreter: Optional[Interpreter] = None,
         batch_size: int = 128,
         executor: Optional[ExecutionEngine] = None,
+        memoize: bool = True,
+        score_cache: Optional[ScoreCache] = None,
+        score_cache_size: int = 100_000,
+        sample_cache: Optional[LRUCache] = None,
+        sample_cache_size: int = 50_000,
+        program_length: Optional[int] = None,
     ) -> None:
         if kind not in ("cf", "lcs"):
             raise ValueError("kind must be 'cf' or 'lcs'")
@@ -69,41 +87,94 @@ class LearnedTraceFitness(FitnessFunction):
         self.name = f"nnff_{kind}"
         # a default engine honors the interpreter's execution mode
         self.executor = executor or ExecutionEngine(compiled=self.interpreter.compiled)
+        self.score_cache: Optional[ScoreCache] = None
+        if memoize:
+            # explicit None check: an empty cache is falsy (len() == 0)
+            if score_cache is None:
+                score_cache = ScoreCache(capacity=score_cache_size, namespace=f"score:{self.name}")
+            self.score_cache = score_cache
+            # Batch-shape invariance: pad value sequences and the step
+            # dimension to fixed widths derived from configuration (the
+            # encoder's own truncation bound and the run's program
+            # length), never from whichever genes happen to need scoring.
+            self.encoder = dataclasses.replace(
+                self.encoder,
+                pad_value_width=self.encoder.pad_value_width or self.encoder.max_value_length,
+                pad_program_length=program_length or self.encoder.pad_program_length,
+            )
+        # Trace-sample memo (bounded LRU); shareable across fitness
+        # instances serving the same model, e.g. across a backend's runs.
+        self._sample_cache = (
+            sample_cache if sample_cache is not None else LRUCache(sample_cache_size)
+        )
 
     # ------------------------------------------------------------------
     def _samples_for(self, programs: Sequence[Program], io_set: IOSet) -> List[FitnessSample]:
         """One :class:`FitnessSample` per program, trace-cached per spec.
 
         Trace collection (interpreting the candidate on every example) is
-        the expensive part of NN-FF scoring; the shared executor memoizes
-        it, so elites re-scored in later generations — and candidates the
-        GA already executed for the solution check — cost one lookup.
-        The NN forward pass itself is *not* memoized: batch composition
-        stays exactly as in the uncached implementation, which keeps
-        seeded runs bit-identical (batched score memoization is tracked
-        as a ROADMAP open item).
+        an expensive part of NN-FF scoring; the shared executor memoizes
+        the raw traces and a bounded LRU keeps the assembled samples, so
+        candidates the GA already executed for the solution check cost a
+        lookup.  The forward pass on top is memoized separately in
+        :attr:`score_cache` (see :meth:`score`).
         """
         io_key = self.executor.io_key(io_set)
         samples: List[FitnessSample] = []
         for program in programs:
-            sample = self.executor.get_cached("samples", program, io_key)
+            key = (program_key(program), io_key)
+            sample = self._sample_cache.get(key, namespace="samples")
             if sample is None:
                 traces = self.executor.traces(program, io_set, io_key=io_key)
                 sample = sample_from_execution(program, io_set, traces)
-                self.executor.put_cached("samples", program, io_key, sample)
+                self._sample_cache.put(key, sample)
             samples.append(sample)
         return samples
+
+    def _forward_samples(self, samples: Sequence[FitnessSample], pad_singletons: bool) -> np.ndarray:
+        """Predicted fitness per sample, in ``batch_size`` chunks.
+
+        With ``pad_singletons`` a 1-sample chunk is encoded twice and the
+        first prediction kept: BLAS routes single-row matmuls through a
+        different (gemv) kernel whose rounding can differ from the batched
+        one, and a 2-row batch restores the batched kernel — keeping every
+        score identical to the value the gene would get inside any larger
+        batch.  (``batch_size=1`` scoring never pads: there the historical
+        contract is one single-row forward per gene.)
+        """
+        scores = np.zeros(len(samples))
+        for start in range(0, len(samples), self.batch_size):
+            chunk = samples[start : start + self.batch_size]
+            if pad_singletons and len(chunk) == 1:
+                batch = self.encoder.encode_trace_batch([chunk[0], chunk[0]])
+                scores[start] = self.model.predict_fitness(batch)[0]
+            else:
+                batch = self.encoder.encode_trace_batch(chunk)
+                scores[start : start + len(chunk)] = self.model.predict_fitness(batch)
+        return scores
 
     def score(self, programs: Sequence[Program], io_set: IOSet) -> np.ndarray:
         if not programs:
             return np.zeros(0)
-        samples = self._samples_for(programs, io_set)
-        scores = np.zeros(len(samples))
-        for start in range(0, len(samples), self.batch_size):
-            chunk = samples[start : start + self.batch_size]
-            batch = self.encoder.encode_trace_batch(chunk)
-            scores[start : start + len(chunk)] = self.model.predict_fitness(batch)
+        if self.score_cache is None:
+            # historical path: forward the entire population every call
+            return self._forward_samples(self._samples_for(programs, io_set), False)
+        io_key = self.executor.io_key(io_set)
+        scores, pending = self.score_cache.partition(programs, io_key)
+        if pending:
+            fresh = [program for program, _ in pending.values()]
+            samples = self._samples_for(fresh, io_set)
+            values = self._forward_samples(samples, self.batch_size > 1)
+            for (key, (_, positions)), value in zip(pending.items(), values):
+                self.score_cache.put_key(key, io_key, value)
+                scores[positions] = value
         return scores
+
+    def cache_stats(self) -> List[CacheStats]:
+        stats = [self._sample_cache.stats]
+        if self.score_cache is not None:
+            stats.append(self.score_cache.stats)
+        return stats
 
     def mutation_scores(self, program: Program, io_set: IOSet) -> Optional[np.ndarray]:
         """Score each position by how much removing confidence it carries.
@@ -129,6 +200,9 @@ class ProbabilityMapFitness(FitnessFunction):
         encoder: Optional[FeatureEncoder] = None,
         registry: FunctionRegistry = REGISTRY,
         executor: Optional[ExecutionEngine] = None,
+        cache_tag: Optional[str] = None,
+        map_cache: Optional[LRUCache] = None,
+        map_cache_size: int = 512,
     ) -> None:
         self.model = model
         self.encoder = encoder or FeatureEncoder(registry=registry)
@@ -137,18 +211,24 @@ class ProbabilityMapFitness(FitnessFunction):
         self.executor = executor or ExecutionEngine()
         # score cache namespace is model-specific: executors are shared
         # across fitness instances, and two FP models must never read
-        # each other's cached scores
-        self._score_ns = f"score:nnff_fp:{id(self.model)}"
-        self._cache: Dict[Tuple, np.ndarray] = {}
+        # each other's cached scores.  A caller-supplied tag makes the
+        # namespace process-stable, which is what lets cache snapshots
+        # cross worker boundaries (id() is process-local).
+        self._score_ns = f"score:nnff_fp:{cache_tag or id(self.model)}"
+        # probability maps are one small vector per specification, but a
+        # long-lived serving session sees unboundedly many specs — LRU
+        self._cache = map_cache if map_cache is not None else LRUCache(map_cache_size)
 
     # ------------------------------------------------------------------
     def probability_map(self, io_set: IOSet) -> np.ndarray:
-        """The predicted probability map for a specification (cached)."""
+        """The predicted probability map for a specification (LRU-cached)."""
         key = self.executor.io_key(io_set)
-        if key not in self._cache:
+        cached = self._cache.get(key, namespace="probability_map")
+        if cached is None:
             batch = self.encoder.encode_io_batch([io_set])
-            self._cache[key] = self.model.predict_probability_map(batch)[0]
-        return self._cache[key]
+            cached = self.model.predict_probability_map(batch)[0]
+            self._cache.put(key, cached)
+        return cached
 
     def score(self, programs: Sequence[Program], io_set: IOSet) -> np.ndarray:
         if not programs:
@@ -163,6 +243,9 @@ class ProbabilityMapFitness(FitnessFunction):
                 self.executor.put_cached(self._score_ns, program, io_key, cached)
             scores[index] = cached
         return scores
+
+    def cache_stats(self) -> List[CacheStats]:
+        return [self._cache.stats]
 
 
 class EditDistanceFitness(FitnessFunction):

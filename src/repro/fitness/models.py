@@ -28,7 +28,7 @@ import numpy as np
 from repro.config import NNConfig
 from repro.dsl.functions import FunctionRegistry, REGISTRY
 from repro.nn.autograd import Tensor, concat, no_grad
-from repro.nn.layers import Dense, Dropout, Embedding
+from repro.nn.layers import Dense, Dropout, Embedding, active_length
 from repro.nn.losses import (
     sigmoid_binary_cross_entropy,
     softmax_cross_entropy,
@@ -109,17 +109,38 @@ class TraceFitnessModel(Module):
         b, m, length = (int(x) for x in batch["shape"])
         hidden = self.config.hidden_dim
 
+        # The encoder may pad the step dimension to a fixed, batch-independent
+        # width; trailing steps masked for *every* sample are exact no-ops
+        # (masked LSTM steps keep their state, masked mean weights are zero),
+        # so they are sliced off before any encoding work is spent on them.
+        step_mask = batch["step_mask"]
+        step_value_tokens = batch["step_value_tokens"]
+        step_value_mask = batch["step_value_mask"]
+        step_functions = batch["step_functions"]
+        effective = active_length(step_mask, length)
+        if effective < length:
+            step_mask = step_mask[:, :effective]
+            step_functions = step_functions[:, :effective]
+            width = step_value_tokens.shape[1]
+            step_value_tokens = step_value_tokens.reshape(b * m, length, width)[
+                :, :effective, :
+            ].reshape(b * m * effective, width)
+            step_value_mask = step_value_mask.reshape(b * m, length, width)[
+                :, :effective, :
+            ].reshape(b * m * effective, width)
+            length = effective
+
         enc_input = self.value_encoder(batch["input_tokens"], batch["input_mask"])
         enc_output = self.value_encoder(batch["output_tokens"], batch["output_mask"])
-        enc_steps_flat = self.value_encoder(batch["step_value_tokens"], batch["step_value_mask"])
+        enc_steps_flat = self.value_encoder(step_value_tokens, step_value_mask)
         enc_steps = enc_steps_flat.reshape(b * m, length, hidden)
 
-        func_embedded = self.function_embedding(batch["step_functions"])  # (B*m, L, emb)
+        func_embedded = self.function_embedding(step_functions)  # (B*m, L, emb)
         step_features = concat([func_embedded, enc_steps], axis=-1)
         if isinstance(self.step_encoder, LSTM):
-            trace_vec = self.step_encoder(step_features, mask=batch["step_mask"])
+            trace_vec = self.step_encoder(step_features, mask=step_mask)
         else:
-            trace_vec = self.step_encoder(step_features, batch["step_mask"])
+            trace_vec = self.step_encoder(step_features, step_mask)
 
         example_vec = self.example_dense(concat([enc_input, enc_output, trace_vec], axis=-1))
         example_vec = self.dropout(example_vec)

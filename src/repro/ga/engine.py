@@ -77,6 +77,17 @@ class GeneticAlgorithm:
         # default engine honors the interpreter's execution mode, so passing
         # a reference interpreter still yields reference semantics.
         self.executor = executor or ExecutionEngine(compiled=self.interpreter.compiled)
+        self._stats_base = (0, 0)
+
+    # ------------------------------------------------------------------
+    def _cache_counters(self) -> tuple:
+        """Combined (hits, misses) of the executor and fitness caches."""
+        hits = self.executor.stats.hits
+        misses = self.executor.stats.misses
+        for stats in self.fitness.cache_stats():
+            hits += stats.hits
+            misses += stats.misses
+        return hits, misses
 
     # ------------------------------------------------------------------
     def _is_solution(self, candidate: Program, io_set: IOSet) -> bool:
@@ -111,7 +122,16 @@ class GeneticAlgorithm:
         """
         if listener is None:
             return
-        stats = self.executor.stats
+        # Fold the fitness layer's own memo counters (score cache, sample
+        # cache, probability maps) into the executor's, so the event's
+        # cache_hit_rate reflects every memoization layer — reported as
+        # deltas since run() started: the engine/score caches persist
+        # across a backend's runs, and cumulative totals would drown the
+        # current run's behaviour in previous runs' traffic.
+        hits, misses = self._cache_counters()
+        base_hits, base_misses = self._stats_base
+        hits -= base_hits
+        misses -= base_misses
         listener(
             ProgressEvent(
                 kind=kind,
@@ -120,9 +140,9 @@ class GeneticAlgorithm:
                 best_fitness=best_history[-1] if best_history else None,
                 candidates_used=budget.used,
                 budget_limit=budget.limit,
-                cache_hits=stats.hits,
-                cache_misses=stats.misses,
-                cache_hit_rate=stats.hit_rate,
+                cache_hits=hits,
+                cache_misses=misses,
+                cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
             )
         )
 
@@ -138,6 +158,8 @@ class GeneticAlgorithm:
         avg_history: List[float] = []
         best_history: List[float] = []
         ns_cooldown = 0
+        # baseline for per-run cache-counter deltas in progress events
+        self._stats_base = self._cache_counters()
 
         # -- initial population ------------------------------------------------
         members: List[Program] = []

@@ -17,9 +17,26 @@ from typing import Optional
 import numpy as np
 
 from repro.nn.autograd import Tensor
-from repro.nn.layers import Dense, Embedding
+from repro.nn.layers import Dense, Embedding, active_length
 from repro.nn.lstm import LSTM
 from repro.nn.module import Module
+
+
+def _trim_padding(tokens: np.ndarray, mask: Optional[np.ndarray]):
+    """Drop trailing all-masked columns from a padded (tokens, mask) pair.
+
+    The feature encoder may pad every batch to a fixed width so encoded
+    arrays are batch-shape-invariant; the trailing all-padding region is
+    an exact no-op for both encoders (masked LSTM steps keep their state,
+    masked mean weights are zero), so it is sliced off before any work is
+    done on it.
+    """
+    if mask is None:
+        return tokens, mask
+    width = active_length(mask, tokens.shape[1])
+    if width < tokens.shape[1]:
+        return tokens[:, :width], mask[:, :width]
+    return tokens, mask
 
 
 class LSTMSequenceEncoder(Module):
@@ -42,6 +59,7 @@ class LSTMSequenceEncoder(Module):
         tokens = np.asarray(tokens, dtype=np.int64)
         if tokens.ndim != 2:
             raise ValueError("tokens must be (batch, time)")
+        tokens, mask = _trim_padding(tokens, mask)
         embedded = self.embedding(tokens)  # (batch, time, embedding_dim)
         return self.lstm(embedded, mask=mask)
 
@@ -66,6 +84,7 @@ class MeanPoolEncoder(Module):
         tokens = np.asarray(tokens, dtype=np.int64)
         if tokens.ndim != 2:
             raise ValueError("tokens must be (batch, time)")
+        tokens, mask = _trim_padding(tokens, mask)
         batch, time = tokens.shape
         embedded = self.embedding(tokens)  # (batch, time, embedding_dim)
         if mask is None:

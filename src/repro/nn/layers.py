@@ -16,6 +16,24 @@ def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int, shape) -> np.nd
     return rng.uniform(-limit, limit, size=shape)
 
 
+def active_length(mask: Optional[np.ndarray], time: int) -> int:
+    """Number of leading timesteps that carry at least one unmasked row.
+
+    Sequence layers use this to skip trailing all-padding columns: a
+    fully-masked timestep leaves LSTM states untouched and contributes
+    exact zeros to masked means, so dropping the trailing all-masked
+    region never changes the result — which is what lets the feature
+    encoder pad every batch to a fixed, batch-independent width for free.
+    Always at least 1 so degenerate all-masked batches keep a well-defined
+    time dimension.
+    """
+    if mask is None:
+        return time
+    mask = np.asarray(mask)
+    active = np.flatnonzero(mask.any(axis=0))
+    return int(active[-1]) + 1 if active.size else 1
+
+
 class Dense(Module):
     """A fully connected layer ``y = x W + b`` with optional activation.
 

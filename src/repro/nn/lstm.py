@@ -15,7 +15,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn.autograd import Tensor, concat
-from repro.nn.layers import _glorot
+from repro.nn.layers import _glorot, active_length
 from repro.nn.module import Module, Parameter
 
 
@@ -88,6 +88,12 @@ class LSTM(Module):
             mask = np.asarray(mask, dtype=np.float64)
             if mask.shape != (batch, time):
                 raise ValueError(f"mask shape {mask.shape} does not match inputs {(batch, time)}")
+            # Trailing all-masked timesteps leave (h, c) untouched; skip
+            # them so fixed-width padded batches cost no extra steps.
+            # (Not applicable when the full sequence is returned — the
+            # caller expects one output per input timestep.)
+            if not return_sequence:
+                time = active_length(mask, time)
 
         h, c = self.cell.initial_state(batch)
         outputs = []

@@ -88,8 +88,15 @@ class Module:
         """Copy of every parameter keyed by its dotted name."""
         return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter values produced by :meth:`state_dict`."""
+    def load_state_dict(self, state: Dict[str, np.ndarray], copy: bool = True) -> None:
+        """Load parameter values produced by :meth:`state_dict`.
+
+        With ``copy=False`` the parameters *alias* the provided arrays
+        instead of copying them — this is how shared-memory model serving
+        attaches mmap-backed weights so N worker processes share one set
+        of physical pages.  Aliased parameters may be read-only; such a
+        module serves inference but cannot be trained in place.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -103,7 +110,7 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: {value.shape} vs {parameter.data.shape}"
                 )
-            parameter.data = value.copy()
+            parameter.data = value.copy() if copy else value
 
     # -- forward ----------------------------------------------------------------
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract

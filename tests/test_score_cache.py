@@ -1,0 +1,426 @@
+"""Batched, memoized NN-FF scoring and shared-memory model serving.
+
+The contract under test, layer by layer:
+
+* the LRU primitives bound the fitness-layer caches and count traffic;
+* the encoder/model path is batch-shape-invariant — fixed padding widths
+  and never-singleton GEMM batches make a program's predicted score
+  independent of batch composition, bit for bit;
+* therefore score memoization (forwarding only genuinely new genes) is
+  bit-identical to the historical score-everything path, across batch
+  sizes, for CF and LCS, cold and warm;
+* elites and survivors hit the score cache in later generations, and the
+  hit/miss counters surface through ``generation`` progress events;
+* Phase-1 weights attach read-only from a packed mmap segment with
+  bit-identical values, and parallel session runs over shared weights
+  equal serial runs record for record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ServiceConfig
+from repro.core.artifacts import ArtifactStore
+from repro.core.netsyn import NetSynBackend
+from repro.core.service import SynthesisSession
+from repro.events import EventLog
+from repro.execution import LRUCache, ScoreCache, io_set_key
+from repro.fitness.functions import LearnedTraceFitness, ProbabilityMapFitness
+from repro.ga.budget import SearchBudget
+from repro.ga.operators import GeneOperators
+
+
+# ---------------------------------------------------------------------------
+# LRU primitives
+# ---------------------------------------------------------------------------
+
+
+class TestLRUCache:
+    def test_put_get_and_counters(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_capacity_bound_evicts_least_recently_used(self):
+        cache = LRUCache(capacity=3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")  # refresh "a"; "b" is now least recently used
+        cache.put("d", "d")
+        assert len(cache) == 3
+        assert "b" not in cache
+        assert "a" in cache and "d" in cache
+        assert cache.stats.evictions == 1
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert len(cache) == 0 and cache.get("a") is None
+        assert not cache.enabled
+
+    def test_peek_does_not_touch_counters_or_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.stats.lookups == 0
+        cache.put("c", 3)  # "a" was not refreshed by peek -> evicted first
+        assert "a" not in cache
+
+    def test_snapshot_round_trip(self):
+        cache = LRUCache(capacity=8)
+        for i in range(5):
+            cache.put(("k", i), float(i))
+        other = LRUCache(capacity=8)
+        assert other.load(cache.items()) == 5
+        assert other.peek(("k", 3)) == 3.0
+
+
+class TestScoreCache:
+    def test_partition_separates_hits_and_first_occurrence_pending(self, tiny_task):
+        ops = GeneOperators(program_length=3, rng=np.random.default_rng(0))
+        a, b, c = (ops.random_gene() for _ in range(3))
+        io_key = io_set_key(tiny_task.io_set)
+        cache = ScoreCache(capacity=16)
+        cache.put(a, io_key, 1.5)
+        scores, pending = cache.partition([a, b, c, b, a], io_key)
+        assert scores[0] == 1.5 and scores[4] == 1.5
+        # b and c pending once each, in first-occurrence order, with both
+        # positions of the duplicated b recorded
+        keys = list(pending)
+        assert keys == [b.function_ids, c.function_ids]
+        assert pending[b.function_ids][1] == [1, 3]
+
+    def test_snapshot_round_trip(self, tiny_task):
+        ops = GeneOperators(program_length=3, rng=np.random.default_rng(1))
+        gene = ops.random_gene()
+        io_key = io_set_key(tiny_task.io_set)
+        cache = ScoreCache(capacity=4)
+        cache.put(gene, io_key, 2.25)
+        other = ScoreCache(capacity=4)
+        other.load_snapshot(cache.snapshot())
+        assert other.get(gene, io_key) == 2.25
+
+
+# ---------------------------------------------------------------------------
+# batch-shape invariance and score memoization bit-identity
+# ---------------------------------------------------------------------------
+
+
+def _population(n, length=3, seed=11):
+    ops = GeneOperators(program_length=length, rng=np.random.default_rng(seed))
+    genes = [ops.random_gene() for _ in range(n)]
+    # realistic population shape: duplicates from elitism/reproduction
+    return genes + genes[:5]
+
+
+class TestScoreMemoizationBitIdentity:
+    @pytest.mark.parametrize("batch_size", [1, 32, 128])
+    def test_memoized_equals_legacy_across_batch_sizes(
+        self, tiny_trace_artifacts, tiny_task, batch_size
+    ):
+        programs = _population(40)
+        legacy = LearnedTraceFitness(
+            tiny_trace_artifacts.model,
+            kind="cf",
+            encoder=tiny_trace_artifacts.encoder,
+            batch_size=batch_size,
+            memoize=False,
+        )
+        memoized = LearnedTraceFitness(
+            tiny_trace_artifacts.model,
+            kind="cf",
+            encoder=tiny_trace_artifacts.encoder,
+            batch_size=batch_size,
+            memoize=True,
+            program_length=3,
+        )
+        expected = legacy.score(programs, tiny_task.io_set)
+        cold = memoized.score(programs, tiny_task.io_set)
+        warm = memoized.score(programs, tiny_task.io_set)
+        np.testing.assert_array_equal(cold, expected)
+        np.testing.assert_array_equal(warm, expected)
+        # the warm pass is answered entirely from the cache
+        assert memoized.score_cache.stats.hits >= len(programs)
+
+    def test_scores_do_not_depend_on_batch_composition(self, tiny_trace_artifacts, tiny_task):
+        programs = _population(40)
+        fitness = LearnedTraceFitness(
+            tiny_trace_artifacts.model,
+            kind="cf",
+            encoder=tiny_trace_artifacts.encoder,
+            memoize=True,
+            program_length=3,
+        )
+        full = fitness.score(programs, tiny_task.io_set)
+        # a fresh instance scoring arbitrary subsets must reproduce the
+        # full-batch values bit for bit (this is what makes skipping
+        # cached programs safe)
+        for subset in ([7], [3, 30], list(range(17)), list(range(5, 40, 3))):
+            fresh = LearnedTraceFitness(
+                tiny_trace_artifacts.model,
+                kind="cf",
+                encoder=tiny_trace_artifacts.encoder,
+                memoize=True,
+                program_length=3,
+            )
+            got = fresh.score([programs[i] for i in subset], tiny_task.io_set)
+            np.testing.assert_array_equal(got, full[subset])
+
+    def test_fixed_width_encoding_matches_dynamic(self, tiny_trace_artifacts, tiny_task):
+        import dataclasses
+
+        programs = _population(12)
+        dynamic = LearnedTraceFitness(
+            tiny_trace_artifacts.model,
+            kind="cf",
+            encoder=tiny_trace_artifacts.encoder,
+            memoize=False,
+        )
+        samples = dynamic._samples_for(programs, tiny_task.io_set)
+        wide = dataclasses.replace(
+            tiny_trace_artifacts.encoder, pad_value_width=16, pad_program_length=3
+        )
+        batch_dynamic = dynamic.encoder.encode_trace_batch(samples)
+        batch_fixed = wide.encode_trace_batch(samples)
+        assert batch_fixed["input_tokens"].shape[1] == 16
+        np.testing.assert_array_equal(
+            tiny_trace_artifacts.model.predict_fitness(batch_dynamic),
+            tiny_trace_artifacts.model.predict_fitness(batch_fixed),
+        )
+
+
+class TestRunBitIdentity:
+    @pytest.mark.parametrize("kind", ["cf", "lcs"])
+    def test_seeded_runs_match_legacy_path(
+        self, tiny_netsyn_config, tiny_training_config, tiny_nn_config, tiny_dsl_config, tiny_suite, kind
+    ):
+        from repro.core.phase1 import train_fp_model, train_trace_model
+
+        config = tiny_netsyn_config.replace(fitness_kind=kind)
+        trace = train_trace_model(
+            kind=kind, training=tiny_training_config, nn=tiny_nn_config, dsl=tiny_dsl_config
+        )
+        fp = train_fp_model(
+            training=tiny_training_config, nn=tiny_nn_config, dsl=tiny_dsl_config
+        )
+        memo = NetSynBackend(config).set_models(trace_artifacts=trace, fp_artifacts=fp)
+        legacy = NetSynBackend(
+            config.replace(memoize_scores=False, share_evaluation_cache=False)
+        ).set_models(trace_artifacts=trace, fp_artifacts=fp)
+        for task in list(tiny_suite)[:2]:
+            for seed in (0, 3):
+                got = memo.solve_io(task.io_set, budget=SearchBudget(limit=600), seed=seed)
+                want = legacy.solve_io(task.io_set, budget=SearchBudget(limit=600), seed=seed)
+                assert got.found == want.found
+                assert got.candidates_used == want.candidates_used
+                assert got.generations == want.generations
+                assert got.average_fitness_history == want.average_fitness_history
+                assert got.best_fitness_history == want.best_fitness_history
+
+    def test_elites_hit_the_score_cache_across_generations(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task
+    ):
+        backend = NetSynBackend(tiny_netsyn_config).set_models(
+            trace_artifacts=tiny_trace_artifacts, fp_artifacts=tiny_fp_artifacts
+        )
+        result = backend.solve_io(tiny_task.io_set, budget=SearchBudget(limit=800), seed=0)
+        stats = backend._score_cache.stats
+        if result.generations >= 2:
+            # every elite survives into generation 2's scoring pass as a hit
+            assert stats.hits >= tiny_netsyn_config.ga.elite_count
+        assert stats.hit_rate > 0.0
+
+    def test_generation_events_surface_fitness_cache_counters(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task
+    ):
+        backend = NetSynBackend(tiny_netsyn_config).set_models(
+            trace_artifacts=tiny_trace_artifacts, fp_artifacts=tiny_fp_artifacts
+        )
+        log = EventLog()
+        backend.solve(tiny_task, budget=SearchBudget(limit=800), seed=0, listener=log)
+        generations = log.of_kind("generation")
+        assert generations
+        last = generations[-1]
+        assert last.cache_hits + last.cache_misses > 0
+        assert 0.0 <= last.cache_hit_rate <= 1.0
+        if len(generations) >= 2:
+            # the fold includes score-cache traffic, so hits must exceed
+            # what the execution cache alone would report at generation 1
+            assert last.cache_hits > generations[0].cache_hits
+
+
+class TestBoundedFitnessCaches:
+    def test_probability_map_cache_is_bounded(self, tiny_fp_artifacts, tiny_dsl_config):
+        from repro.data import make_synthesis_task
+
+        fitness = ProbabilityMapFitness(
+            tiny_fp_artifacts.model, encoder=tiny_fp_artifacts.encoder, map_cache_size=2
+        )
+        tasks = [make_synthesis_task(length=3, seed=s, dsl_config=tiny_dsl_config) for s in range(4)]
+        for task in tasks:
+            fitness.probability_map(task.io_set)
+        assert len(fitness._cache) == 2
+        assert fitness._cache.stats.misses == 4
+        # repeat lookups on a cached spec are hits and surface in cache_stats
+        fitness.probability_map(tasks[-1].io_set)
+        assert fitness.cache_stats()[0].hits == 1
+
+    def test_sample_cache_is_bounded(self, tiny_trace_artifacts, tiny_task):
+        fitness = LearnedTraceFitness(
+            tiny_trace_artifacts.model,
+            kind="cf",
+            encoder=tiny_trace_artifacts.encoder,
+            memoize=False,
+            sample_cache_size=8,
+        )
+        fitness.score(_population(30), tiny_task.io_set)
+        assert len(fitness._sample_cache) == 8
+        assert fitness._sample_cache.stats.evictions > 0
+
+
+# ---------------------------------------------------------------------------
+# shared-memory model serving
+# ---------------------------------------------------------------------------
+
+
+class TestSharedMemoryServing:
+    def test_pack_and_attach_round_trip_bitwise(
+        self, tmp_path, tiny_trace_artifacts, tiny_fp_artifacts
+    ):
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        store.save(tmp_path)
+        store.pack_shared(tmp_path)
+        assert ArtifactStore.shared_at(tmp_path)
+        attached = ArtifactStore.attach_shared(tmp_path)
+        for name in store.names():
+            original = store.get(name).model.state_dict()
+            shared = attached.get(name).model.state_dict()
+            assert set(original) == set(shared)
+            for key in original:
+                np.testing.assert_array_equal(original[key], shared[key])
+        # attached parameters are read-only views, not private copies
+        parameter = attached.get("cf").model.parameters()[0]
+        assert not parameter.data.flags.writeable
+
+    def test_pack_requires_saved_store(self, tmp_path, tiny_fp_artifacts):
+        store = ArtifactStore(fp=tiny_fp_artifacts)
+        with pytest.raises(FileNotFoundError):
+            store.pack_shared(tmp_path / "nowhere")
+
+    def test_attached_model_scores_bitwise_identical(
+        self, tmp_path, tiny_trace_artifacts, tiny_task
+    ):
+        store = ArtifactStore(cf=tiny_trace_artifacts)
+        store.save(tmp_path)
+        store.pack_shared(tmp_path)
+        attached = ArtifactStore.attach_shared(tmp_path)
+        programs = _population(10)
+        original = LearnedTraceFitness(
+            tiny_trace_artifacts.model, kind="cf", encoder=tiny_trace_artifacts.encoder
+        ).score(programs, tiny_task.io_set)
+        served = LearnedTraceFitness(
+            attached.get("cf").model, kind="cf", encoder=attached.get("cf").encoder
+        ).score(programs, tiny_task.io_set)
+        np.testing.assert_array_equal(original, served)
+
+    def test_parallel_equals_serial_with_shared_weights(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_suite
+    ):
+        def run(n_workers, shared):
+            store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+            session = SynthesisSession(
+                tiny_netsyn_config,
+                store,
+                methods=("netsyn_cf",),
+                service_config=ServiceConfig(shared_weights=shared),
+            )
+            jobs = [session.submit(task, budget=400, seed=1) for task in tiny_suite]
+            session.run(n_workers=n_workers)
+            return [
+                (
+                    job.state.value,
+                    job.result.found,
+                    job.result.candidates_used,
+                    job.result.generations,
+                    tuple(job.result.program.function_ids) if job.result.program else None,
+                )
+                for job in jobs
+            ]
+
+        serial = run(1, shared=False)
+        assert run(2, shared=True) == serial
+
+    def test_worker_cache_snapshot_round_trip(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task
+    ):
+        warm = NetSynBackend(tiny_netsyn_config).set_models(
+            trace_artifacts=tiny_trace_artifacts, fp_artifacts=tiny_fp_artifacts
+        )
+        warm.solve_io(tiny_task.io_set, budget=SearchBudget(limit=600), seed=0)
+        snapshot = warm.cache_snapshot()
+        assert snapshot and "scores" in snapshot
+
+        cold = NetSynBackend(tiny_netsyn_config).set_models(
+            trace_artifacts=tiny_trace_artifacts, fp_artifacts=tiny_fp_artifacts
+        )
+        cold.load_cache_snapshot(snapshot)
+        # the preloaded backend reproduces the warm run exactly, answering
+        # repeat scoring from the shipped cache
+        preloaded = cold.solve_io(tiny_task.io_set, budget=SearchBudget(limit=600), seed=0)
+        reference = warm.solve_io(tiny_task.io_set, budget=SearchBudget(limit=600), seed=0)
+        assert preloaded.candidates_used == reference.candidates_used
+        assert preloaded.average_fitness_history == reference.average_fitness_history
+        assert cold._score_cache.stats.hits > 0
+
+    def test_refit_resets_model_dependent_caches(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task
+    ):
+        backend = NetSynBackend(tiny_netsyn_config).set_models(
+            trace_artifacts=tiny_trace_artifacts, fp_artifacts=tiny_fp_artifacts
+        )
+        backend.solve_io(tiny_task.io_set, budget=SearchBudget(limit=600), seed=0)
+        assert backend._score_cache is not None and len(backend._score_cache)
+        # rebinding (possibly different weights) must drop every memoized
+        # prediction — cached scores are functions of the model
+        backend.set_models(trace_artifacts=tiny_trace_artifacts)
+        assert backend._score_cache is None
+        assert backend._shared_executor is None and backend._map_cache is None
+
+    def test_repacked_segment_reattaches(self, tmp_path, tiny_fp_artifacts):
+        from repro.core.service import SharedWorkerPayload, _segment_token
+
+        store = ArtifactStore(fp=tiny_fp_artifacts)
+        store.save(tmp_path)
+        store.pack_shared(tmp_path)
+        first = SharedWorkerPayload(
+            directory=str(tmp_path), config=None, token=_segment_token(str(tmp_path))
+        ).store
+        # re-pack (e.g. after a retrain in the same process): the token
+        # changes, so the memo must attach fresh views, not serve stale ones
+        import os, time
+
+        time.sleep(0.01)
+        store.pack_shared(tmp_path)
+        os.utime(tmp_path / "shared_weights.bin")
+        second_token = _segment_token(str(tmp_path))
+        second = SharedWorkerPayload(
+            directory=str(tmp_path), config=None, token=second_token
+        ).store
+        assert second is not first
+
+    def test_shared_weights_skipped_for_empty_store(self, tiny_netsyn_config, tiny_suite):
+        # artifact-free methods (edit) must not try to pack/attach a segment
+        session = SynthesisSession(
+            tiny_netsyn_config.replace(fitness_kind="edit"),
+            ArtifactStore(),
+            methods=("edit",),
+            service_config=ServiceConfig(shared_weights=True),
+        )
+        jobs = [session.submit(task, budget=200, seed=0) for task in tiny_suite]
+        session.run(n_workers=2)
+        assert all(job.state.value in ("solved", "exhausted") for job in jobs)
