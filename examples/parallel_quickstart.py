@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Parallel session quickstart: live streaming, cancellation, warm restart.
+
+This is the multi-worker counterpart of ``examples/quickstart.py`` (and
+the driver behind the CI parallel smoke job).  It demonstrates the three
+serving-path guarantees of the session layer:
+
+1. **Live cross-process streaming** — jobs fanned out over 2 worker
+   processes stream their per-generation events back to the parent
+   through a multiprocessing queue; the session listener prints them as
+   they happen and the full log is saved as JSON (uploaded as a CI
+   artifact).
+2. **Worker cancellation** — a deliberately unsolvable job is cancelled
+   from the parent while it runs inside a worker; the shared flag stops
+   the worker within a generation and the job ends ``CANCELLED`` with no
+   ``finished`` event.
+3. **Warm restart** — a re-opened session loads the persisted Phase-1
+   artifacts *and* the persisted score/evaluation caches (keyed by model
+   hash), so repeating a request costs cache lookups, not NN forwards.
+
+Run with ``python examples/parallel_quickstart.py``; takes well under a
+minute.  ``NETSYN_ARTIFACT_DIR`` and ``NETSYN_EVENT_LOG`` override the
+artifact directory and the event-log path.
+"""
+
+import os
+import time
+
+from repro import NetSynConfig, ServiceConfig, SynthesisService
+from repro.core.service import JobState
+from repro.data import make_synthesis_task
+from repro.data.tasks import SynthesisTask
+from repro.dsl.equivalence import IOExample
+from repro.events import EventLog
+
+
+def impossible_task(template) -> SynthesisTask:
+    """Contradictory IO examples: unsolvable, so only cancel() ends it early."""
+    return SynthesisTask(
+        target=template.target,
+        io_set=[
+            IOExample(inputs=([1, 2, 3],), output=[1]),
+            IOExample(inputs=([1, 2, 3],), output=[2]),
+        ],
+        length=template.length,
+        is_singleton=False,
+        task_id="impossible",
+    )
+
+
+def main() -> None:
+    config = NetSynConfig.small(fitness_kind="fp", seed=3)
+    artifact_dir = os.environ.get("NETSYN_ARTIFACT_DIR", ".netsyn-artifacts-parallel")
+    event_log_path = os.environ.get("NETSYN_EVENT_LOG", "parallel_event_log.json")
+    service = SynthesisService(
+        config,
+        service_config=ServiceConfig(artifact_dir=artifact_dir, progress_every=500),
+    )
+
+    print("Phase 1: training (or warm-starting) the FP model ...")
+    start = time.time()
+    session = service.open_session(methods=("netsyn_fp",))
+    print(f"  session ready in {time.time() - start:.1f}s (artifacts: {session.store.names()})")
+
+    tasks = [make_synthesis_task(length=4, seed=s, dsl_config=config.dsl) for s in (101, 103, 107)]
+    log = EventLog()
+    session.add_listener(log)
+
+    jobs = [session.submit(task, budget=3_000, seed=3) for task in tasks]
+    doomed = session.submit(impossible_task(tasks[0]), budget=100_000, seed=5)
+
+    def narrate(event) -> None:
+        if event.kind == "generation" and event.generation % 20 == 0:
+            print(f"  [{event.job_id} gen {event.generation:3d}] best={event.best_fitness:.3f} "
+                  f"cache_hit_rate={event.cache_hit_rate:.0%}")
+        if event.job_id == doomed.job_id and event.kind == "generation" and event.generation >= 3:
+            if doomed.cancel():
+                print(f"  [{doomed.job_id}] cancellation requested from the parent")
+
+    session.add_listener(narrate)
+
+    print("\nPhase 2: 2-worker parallel run with live event streaming ...")
+    start = time.time()
+    session.run(n_workers=2)
+    print(f"  run finished in {time.time() - start:.1f}s")
+    for job in jobs + [doomed]:
+        print(f"  {job.job_id}: {job.state.value} ({len(job.events)} events streamed)")
+
+    # -- the contract the CI job gates on --------------------------------
+    assert all(job.state in (JobState.SOLVED, JobState.EXHAUSTED) for job in jobs)
+    assert doomed.state is JobState.CANCELLED
+    doomed_kinds = [event.kind for event in doomed.events]
+    assert "generation" in doomed_kinds and "finished" not in doomed_kinds
+    for job in jobs:
+        kinds = [event.kind for event in job.events]
+        assert kinds[0] == "started" and kinds[-1] == "finished"
+
+    log.save(event_log_path)
+    print(f"  event log ({len(log)} events) written to {event_log_path}")
+
+    print("\nWarm restart: re-opening the session from persisted artifacts + caches ...")
+    start = time.time()
+    warm = service.open_session(methods=("netsyn_fp",))
+    repeat = warm.submit(tasks[0], budget=3_000, seed=3)
+    warm.run()
+    elapsed = time.time() - start
+    reference = jobs[0]
+    assert repeat.result.found == reference.result.found
+    assert repeat.result.candidates_used == reference.result.candidates_used
+    backend = warm.backend("netsyn_fp")
+    assert backend.cache_version() > 0, "persisted caches were not loaded"
+    print(f"  repeated {tasks[0].task_id} in {elapsed:.1f}s, bit-identical to the cold run, "
+          "served from the persisted cache")
+    print("\nOK: streaming, cancellation and warm restart all verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,20 @@ class NetSynSynthesizer(Synthesizer):
         self.backend.bind(store)
         return self
 
+    # -- warm-cache surface (delegated so the service layer's snapshot /
+    # merge-back / persistence paths see the inner backend's caches) ----
+    def cache_snapshot(self, dirty_only: bool = False):
+        return self.backend.cache_snapshot(dirty_only=dirty_only)
+
+    def load_cache_snapshot(self, data) -> None:
+        self.backend.load_cache_snapshot(data)
+
+    def cache_version(self) -> int:
+        return self.backend.cache_version()
+
+    def begin_cache_delta(self) -> None:
+        self.backend.begin_cache_delta()
+
     # ------------------------------------------------------------------
     def synthesize(
         self,

@@ -311,6 +311,20 @@ class ServiceConfig:
     #: snapshot the session's evaluation/score caches into the shared
     #: segment so workers start warm (keys are process-stable)
     share_worker_caches: bool = True
+    #: stream worker-side progress events back to the parent through a
+    #: multiprocessing queue (drained live by a pump thread), so session
+    #: listeners observe remote jobs exactly like local ones; False
+    #: restores the terminal-event-only parallel behaviour
+    stream_worker_events: bool = True
+    #: merge each worker's score/evaluation-cache entries back into the
+    #: parent session's backend when its job completes, so one worker's
+    #: NN forwards warm every later run (the merge is idempotent: cached
+    #: values are deterministic per key)
+    merge_worker_caches: bool = True
+    #: persist the session's score/evaluation caches next to the Phase-1
+    #: artifacts (``artifact_dir``) after each ``run()``, keyed by the
+    #: model hash, so a re-opened session starts warm across processes
+    persist_caches: bool = True
     #: budget charges between two "candidates" progress events
     progress_every: int = 50
     #: most recent events retained on each job (older ones are dropped so

@@ -13,6 +13,8 @@ processes (fit once, serve many).
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
@@ -30,6 +32,9 @@ _STORE_MANIFEST = "store.json"
 #: shared-memory weight segment (one flat file + a JSON layout manifest)
 SHARED_WEIGHTS_BIN = "shared_weights.bin"
 SHARED_WEIGHTS_MANIFEST = "shared_weights.json"
+
+#: persisted score/evaluation-cache snapshots, next to the artifacts
+CACHE_SNAPSHOTS_FILE = "cache_snapshots.pkl"
 
 #: alignment of each parameter inside the packed segment (cache lines)
 _SHARED_ALIGN = 64
@@ -251,3 +256,71 @@ class ArtifactStore:
         return (directory / SHARED_WEIGHTS_MANIFEST).is_file() and (
             directory / SHARED_WEIGHTS_BIN
         ).is_file()
+
+    # ------------------------------------------------------------------
+    # persistent score/evaluation-cache snapshots
+    # ------------------------------------------------------------------
+    def model_hash(self) -> str:
+        """Content hash of every present model's parameters.
+
+        Cached predicted scores are functions of the model weights, not
+        just of ``(program, io_set)``, so persisted cache snapshots are
+        keyed by this hash: a snapshot written under one set of weights
+        is silently discarded when loaded under another (a retrain, a
+        different seed, a different preset).  An empty store hashes to a
+        stable constant, so artifact-free sessions (edit/oracle) can
+        still persist their model-independent evaluation caches.
+        """
+        digest = hashlib.sha256()
+        for name in self.names():
+            state = self.get(name).model.state_dict()
+            for param_name in sorted(state):
+                digest.update(f"{name}/{param_name}".encode())
+                digest.update(np.ascontiguousarray(state[param_name], dtype="<f8").tobytes())
+        return digest.hexdigest()
+
+    def save_caches(self, directory: PathLike, snapshots: Dict[str, dict]) -> Path:
+        """Persist per-backend cache snapshots next to the artifacts.
+
+        ``snapshots`` maps ``"<method>:<program_length>"`` to the output
+        of ``NetSynBackend.cache_snapshot()`` (structural keys, so the
+        pickle is process-stable).  The file is keyed by
+        :meth:`model_hash` and invalidated by :meth:`load_caches` when
+        the weights on disk no longer match.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / CACHE_SNAPSHOTS_FILE
+        payload = {
+            "format_version": 1,
+            "model_hash": self.model_hash(),
+            "snapshots": dict(snapshots),
+        }
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle)
+        return path
+
+    def load_caches(self, directory: PathLike) -> Dict[str, dict]:
+        """Reload snapshots saved by :meth:`save_caches` (``{}`` when absent).
+
+        A snapshot written under different model weights (stale hash) or
+        an unreadable file yields ``{}`` — a cold start, never an error:
+        the cache is an optimization, not state the session depends on.
+        """
+        path = Path(directory) / CACHE_SNAPSHOTS_FILE
+        if not path.is_file():
+            return {}
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return {}
+        if payload.get("model_hash") != self.model_hash():
+            return {}
+        snapshots = payload.get("snapshots", {})
+        return snapshots if isinstance(snapshots, dict) else {}
+
+    @staticmethod
+    def caches_saved_at(directory: PathLike) -> bool:
+        """True when ``directory`` holds a persisted cache-snapshot file."""
+        return (Path(directory) / CACHE_SNAPSHOTS_FILE).is_file()

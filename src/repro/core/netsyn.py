@@ -182,23 +182,53 @@ class NetSynBackend(SynthesisBackend):
         return self.set_models(trace_artifacts=trace, fp_artifacts=fp)
 
     # ------------------------------------------------------------------
-    def cache_snapshot(self) -> Optional[dict]:
+    def cache_snapshot(self, dirty_only: bool = False) -> Optional[dict]:
         """Picklable snapshot of this backend's warm memo caches.
 
-        Exports the predicted-score cache and the compact evaluation
-        entries (outputs and solution verdicts; execution traces stay
-        behind — they dominate the bytes and re-derive in one execution).
-        All keys are structural, so the snapshot can warm-start the same
-        backend in another process (see ``SynthesisSession.run``).
+        Exports the predicted-score cache, the FP probability maps (one
+        small vector per specification, keyed by the structural io key —
+        skipping their forward is what makes a warm restart NN-free for
+        known specs) and the compact evaluation entries (outputs and
+        solution verdicts; execution traces stay behind — they dominate
+        the bytes and re-derive in one execution).  All keys are
+        structural, so the snapshot can warm-start the same backend in
+        another process (see ``SynthesisSession.run``).
+
+        With ``dirty_only`` only entries written since the last
+        :meth:`begin_cache_delta` are exported — the per-job merge-back
+        payload of a parallel worker, bounded by the work that job did
+        rather than by the cache capacity.
         """
         data: dict = {}
         if self._score_cache is not None and len(self._score_cache):
-            data["scores"] = self._score_cache.snapshot()
+            scores = (
+                self._score_cache.dirty_snapshot() if dirty_only
+                else self._score_cache.snapshot()
+            )
+            if scores:
+                data["scores"] = scores
+        if self._map_cache is not None and len(self._map_cache):
+            maps = self._map_cache.dirty_items() if dirty_only else self._map_cache.items()
+            if maps:
+                data["maps"] = maps
         if self._shared_executor is not None and len(self._shared_executor.cache):
-            entries = self._shared_executor.cache.snapshot(("outputs", "solutions"))
+            cache = self._shared_executor.cache
+            entries = (
+                cache.dirty_snapshot(("outputs", "solutions")) if dirty_only
+                else cache.snapshot(("outputs", "solutions"))
+            )
             if entries:
                 data["evaluation"] = entries
         return data or None
+
+    def begin_cache_delta(self) -> None:
+        """Open a fresh delta window for :meth:`cache_snapshot(dirty_only=True)`."""
+        if self._score_cache is not None:
+            self._score_cache.clear_dirty()
+        if self._map_cache is not None:
+            self._map_cache.clear_dirty()
+        if self._shared_executor is not None:
+            self._shared_executor.cache.clear_dirty()
 
     def load_cache_snapshot(self, data: Optional[dict]) -> None:
         """Warm-start the memo caches from :meth:`cache_snapshot` output."""
@@ -212,10 +242,28 @@ class NetSynBackend(SynthesisBackend):
                     namespace=f"score:nnff_{cfg.fitness_kind}",
                 )
             self._score_cache.load_snapshot(data["scores"])
+        if "maps" in data:
+            self._fp_map_cache().load(data["maps"])
         if "evaluation" in data and cfg.share_evaluation_cache:
             if self._shared_executor is None:
                 self._shared_executor = ExecutionEngine()
             self._shared_executor.cache.load_snapshot(data["evaluation"])
+
+    def cache_version(self) -> int:
+        """Monotone count of memo-cache writes (cheap change detection).
+
+        Parallel workers record this before a job and snapshot only when
+        it moved, so jobs that added nothing (fully warm runs) ship no
+        cache delta back to the parent.
+        """
+        version = 0
+        if self._score_cache is not None:
+            version += self._score_cache.stats.stores
+        if self._map_cache is not None:
+            version += self._map_cache.stats.stores
+        if self._shared_executor is not None:
+            version += self._shared_executor.cache.stats.stores
+        return version
 
     # ------------------------------------------------------------------
     def build_fitness(

@@ -18,6 +18,12 @@ them.  This module turns that shape into an explicit API:
     serially in submission order or fans them out over the existing
     :class:`~repro.evaluation.runner.ParallelTaskRunner` workers
     (records identical to a serial run — every job is explicitly seeded).
+    Parallel workers stream their per-generation events back through a
+    multiprocessing queue drained live by a pump thread, merge the cache
+    entries they computed back into the session when each job completes,
+    and — with a configured ``artifact_dir`` — the session persists those
+    caches next to the artifacts (keyed by model hash) so a re-opened
+    session starts warm in a later process.
 
 ``SynthesisJob``
     One synthesis request with an observable lifecycle::
@@ -26,9 +32,10 @@ them.  This module turns that shape into an explicit API:
 
     Jobs collect their :class:`~repro.events.ProgressEvent` stream and
     support cancellation: pending jobs cancel immediately; running jobs
-    cancel cooperatively at the next progress event (the session's
-    listener raises :class:`~repro.events.JobCancelled` inside the
-    backend, which abandons the search).
+    cancel cooperatively at the next progress event — locally by the
+    session's listener raising :class:`~repro.events.JobCancelled`
+    inside the backend, remotely through a shared cancellation flag the
+    worker polls at every event it emits.
 
 Seeded runs through this layer are bit-identical to the deprecated
 ``NetSyn.synthesize()`` path (tested in ``tests/test_service.py``).
@@ -38,12 +45,15 @@ from __future__ import annotations
 
 import atexit
 import enum
+import multiprocessing
 import pickle
 import shutil
 import tempfile
+import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import NetSynConfig, ServiceConfig
 from repro.core.artifacts import ArtifactStore
@@ -92,6 +102,11 @@ class SynthesisJob:
     error: Optional[str] = None
     events: List[ProgressEvent] = field(default_factory=list)
     _cancel_requested: bool = field(default=False, repr=False)
+    #: set by the session while this job runs remotely: raises the job's
+    #: shared cancellation flag so the worker observes the request live
+    _remote_cancel: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     @property
@@ -102,14 +117,19 @@ class SynthesisJob:
         """Request cancellation.
 
         Pending jobs flip to ``CANCELLED`` immediately; running jobs are
-        cancelled cooperatively at their next progress event.  Returns
-        False when the job already reached a terminal state.
+        cancelled cooperatively at their next progress event — including
+        jobs running in a worker process, where the request travels
+        through a shared cancellation flag the worker polls on every
+        event it emits.  Returns False when the job already reached a
+        terminal state.
         """
         if self.state is JobState.PENDING:
             self.state = JobState.CANCELLED
             return True
         if self.state is JobState.RUNNING:
             self._cancel_requested = True
+            if self._remote_cancel is not None:
+                self._remote_cancel()
             return True
         return False
 
@@ -127,8 +147,14 @@ class SynthesisJob:
         }
 
 
-#: picklable description of one job for the parallel workers
-_ServiceJobSpec = Tuple[str, Optional[int], SynthesisTask, int, int]
+#: picklable description of one job for the parallel workers:
+#: (job_index, job_id, method, program_length, task, seed, budget_limit,
+#:  progress_every)
+_ServiceJobSpec = Tuple[int, str, str, Optional[int], SynthesisTask, int, int, int]
+
+#: what a worker returns per job:
+#: (status, result, error, n_events_emitted, cache_delta)
+_ServiceJobOutcome = Tuple[str, Optional[SynthesisResult], Optional[str], int, Optional[dict]]
 
 _WORKER_BACKENDS: Dict[Any, Any] = {}
 
@@ -151,6 +177,15 @@ def _segment_token(directory: str) -> str:
 
 #: name of the pickled cache snapshot inside a shared segment directory
 _CACHE_SNAPSHOT = "cache_snapshot.pkl"
+
+
+def _snapshot_key(method: str, program_length: Optional[int]) -> str:
+    """The key one backend's caches live under in snapshot dicts.
+
+    Shared by the worker warm-start payload, the merge-back path and the
+    persisted cross-session snapshots, so all three speak one format.
+    """
+    return f"{method}:{program_length}"
 
 
 @dataclass
@@ -211,6 +246,17 @@ class SharedWorkerPayload:
         return self._loaded_snapshots
 
 
+class _FlagRaiser:
+    """Raises one slot of a shared cancellation-flag array (parent side)."""
+
+    def __init__(self, flags: Any, index: int) -> None:
+        self._flags = flags
+        self._index = index
+
+    def __call__(self) -> None:
+        self._flags[self._index] = 1
+
+
 def _unpack_payload(payload: Any) -> Tuple[ArtifactStore, NetSynConfig, Dict[str, dict]]:
     """Store/config/snapshots from either payload shape (tuple or shared)."""
     if hasattr(payload, "raise_"):  # PayloadResolutionError from the initializer
@@ -221,21 +267,63 @@ def _unpack_payload(payload: Any) -> Tuple[ArtifactStore, NetSynConfig, Dict[str
     return store, config, {}
 
 
-def _run_service_job(spec: _ServiceJobSpec) -> Tuple[Optional[SynthesisResult], Optional[str]]:
+def _worker_job_listener(
+    job_index: int, job_id: str, queue: Any, flags: Any
+) -> Tuple[ProgressListener, List[int]]:
+    """The listener a worker attaches to its backend for one job.
+
+    Every event is enriched with the job id and streamed to the parent's
+    pump thread through ``queue`` *before* the cancellation flag is
+    polled, so the event that triggered a cancellation is observed by the
+    parent exactly as it is on the serial path.  ``"finished"`` events
+    never cancel (mirroring the serial listener: by then the result
+    exists and discarding it would waste the run).
+    """
+    emitted = [0]
+
+    def listener(event: ProgressEvent) -> None:
+        event.job_id = job_id
+        if queue is not None:
+            queue.put((job_index, event))
+            emitted[0] += 1
+        if flags is not None and flags[job_index] and event.kind != "finished":
+            raise JobCancelled(job_id)
+
+    return listener, emitted
+
+
+def _run_service_job(spec: _ServiceJobSpec) -> _ServiceJobOutcome:
     """Execute one job in a worker process (or serially as a fallback).
 
     Backends are built lazily per worker and cached per (method, length),
     mirroring the session's own backend cache, so parallel results are
     byte-identical to serial ones — seeds travel with the spec, never
-    with the worker.  Returns ``(result, None)`` on success and
-    ``(None, error)`` on failure, so one broken job cannot take down the
-    whole pool map (matching the serial path's per-job isolation).
+    with the worker.  Progress events stream back through the runner's
+    event queue, the shared cancellation flag is honored both before the
+    job starts and at every emitted event, and cache entries added by
+    the job (NN-score and evaluation memos) are returned as a snapshot
+    delta for the parent to merge.  Failures are returned, not raised,
+    so one broken job cannot take down the whole pool map (matching the
+    serial path's per-job isolation).
     """
     from repro.baselines.registry import build_backend
-    from repro.evaluation.runner import worker_payload
+    from repro.evaluation.runner import (
+        worker_cancel_flags,
+        worker_event_queue,
+        worker_payload,
+    )
 
-    method, length, task, seed, budget_limit = spec
+    job_index, job_id, method, length, task, seed, budget_limit, progress_every = spec
+    queue = worker_event_queue()
+    flags = worker_cancel_flags()
+    listener, emitted = _worker_job_listener(job_index, job_id, queue, flags)
+    backend = None
+    version_before = 0
     try:
+        if flags is not None and flags[job_index]:
+            # cancelled before the worker even started the job: don't pay
+            # for a single generation (the flag was raised parent-side)
+            return ("cancelled", None, None, 0, None)
         store, config, snapshots = _unpack_payload(worker_payload())
         if _WORKER_BACKENDS.get("__store__") is not store:
             _WORKER_BACKENDS.clear()
@@ -244,14 +332,47 @@ def _run_service_job(spec: _ServiceJobSpec) -> Tuple[Optional[SynthesisResult], 
         backend = _WORKER_BACKENDS.get(key)
         if backend is None:
             backend = build_backend(method, store, config, program_length=length)
-            snapshot = snapshots.get(f"{method}:{length}")
+            snapshot = snapshots.get(_snapshot_key(method, length))
             if snapshot and hasattr(backend, "load_cache_snapshot"):
                 backend.load_cache_snapshot(snapshot)
             _WORKER_BACKENDS[key] = backend
-        result = backend.solve(task, budget=SearchBudget(limit=budget_limit), seed=seed)
+        # mirror the session's own backend setup: the configured event
+        # cadence (which is also the budget-hook cancellation cadence)
+        # must reach worker backends, not just local ones
+        backend.progress_every = progress_every
+        if hasattr(backend, "begin_cache_delta"):
+            backend.begin_cache_delta()
+        version_before = getattr(backend, "cache_version", lambda: 0)()
+        result = backend.solve(
+            task,
+            budget=SearchBudget(limit=budget_limit),
+            seed=seed,
+            listener=listener if (queue is not None or flags is not None) else None,
+        )
+    except JobCancelled:
+        return ("cancelled", None, None, emitted[0], _worker_cache_delta(backend, version_before))
     except Exception as error:  # noqa: BLE001 - job isolation boundary
-        return None, f"{type(error).__name__}: {error}"
-    return result, None
+        return ("failed", None, f"{type(error).__name__}: {error}", emitted[0], None)
+    return ("ok", result, None, emitted[0], _worker_cache_delta(backend, version_before))
+
+
+def _worker_cache_delta(backend: Any, version_before: int) -> Optional[dict]:
+    """The entries this job added to the worker backend's caches.
+
+    The merge-back payload for the parent session.  Jobs that ran fully
+    warm (every score and evaluation already cached) ship nothing; jobs
+    that did work ship only the dirty entries written since the job's
+    ``begin_cache_delta()`` window opened — the payload scales with the
+    job's new work, not with the cache capacity.  Merging is idempotent:
+    every cached value is a deterministic function of its structural key.
+    """
+    if backend is None or not hasattr(backend, "cache_snapshot"):
+        return None
+    if getattr(backend, "cache_version", lambda: 0)() == version_before:
+        return None
+    if hasattr(backend, "begin_cache_delta"):
+        return backend.cache_snapshot(dirty_only=True)
+    return backend.cache_snapshot()
 
 
 class SynthesisSession:
@@ -274,6 +395,23 @@ class SynthesisSession:
         self._next_job_number = 0
         self._shared_dir: Optional[Path] = None
         self._shared_packed = False
+        # Persisted warm caches: snapshots written by a previous process
+        # next to the artifacts, keyed by model hash (stale snapshots are
+        # discarded by ArtifactStore.load_caches).  Applied lazily as
+        # backends are built.
+        self._cache_snapshots: Dict[str, dict] = {}
+        #: cache-write version at the last persisted snapshot (None =
+        #: never persisted this session), so fully-warm runs skip the
+        #: model re-hash and full cache re-pickle entirely
+        self._persisted_version: Optional[int] = None
+        if self.service_config.persist_caches and self.service_config.artifact_dir:
+            self._cache_snapshots = self.store.load_caches(self.service_config.artifact_dir)
+            if self._cache_snapshots:
+                logger.info(
+                    "warm caches: loaded %d persisted snapshot(s) from %s",
+                    len(self._cache_snapshots),
+                    self.service_config.artifact_dir,
+                )
 
     # ------------------------------------------------------------------
     def add_listener(self, listener: ProgressListener) -> None:
@@ -291,6 +429,9 @@ class SynthesisSession:
                 method, self.store, self.config, program_length=program_length
             )
             backend.progress_every = self.service_config.progress_every
+            snapshot = self._cache_snapshots.get(_snapshot_key(method, program_length))
+            if snapshot and hasattr(backend, "load_cache_snapshot"):
+                backend.load_cache_snapshot(snapshot)
             self._backends[key] = backend
         return backend
 
@@ -357,6 +498,13 @@ class SynthesisSession:
         """Execute one pending job to a terminal state (serial path)."""
         if job.state is not JobState.PENDING:
             return job
+        if job._cancel_requested:
+            # cancel requested before the job ever started (e.g. from a
+            # listener thread racing the PENDING->RUNNING transition):
+            # honor it here instead of paying for a generation and
+            # cancelling at the first progress event
+            job.state = JobState.CANCELLED
+            return job
         job.state = JobState.RUNNING
         budget = SearchBudget(limit=job.budget_limit)
         try:
@@ -415,7 +563,7 @@ class SynthesisSession:
         snapshot_file = None
         if self.service_config.share_worker_caches:
             snapshots = {
-                f"{method}:{length}": snapshot
+                _snapshot_key(method, length): snapshot
                 for (method, length), backend in self._backends.items()
                 for snapshot in [getattr(backend, "cache_snapshot", lambda: None)()]
                 if snapshot
@@ -434,6 +582,72 @@ class SynthesisSession:
         )
 
     # ------------------------------------------------------------------
+    def _pump_events(
+        self,
+        queue: Any,
+        pending: Sequence[SynthesisJob],
+        received: List[int],
+    ) -> None:
+        """Drain the workers' event queue live (runs on a daemon thread).
+
+        Each item is ``(job_index, event)``; events are recorded on the
+        job and fanned out to session listeners exactly like the serial
+        path, while the main thread blocks in the pool map.  A listener
+        raising :class:`JobCancelled` requests cancellation of that job
+        (serial semantics translated to the remote flag); any other
+        listener exception is logged and swallowed — the pump must keep
+        draining or the run would lose events.  A ``None`` sentinel
+        (posted by :meth:`run` after all expected events arrived) stops
+        the pump.
+        """
+        max_events = self.service_config.max_events_per_job
+        while True:
+            item = queue.get()
+            if item is None:
+                return
+            job_index, event = item
+            job = pending[job_index]
+            job.events.append(event)
+            if len(job.events) > max_events:  # keep the most recent events
+                del job.events[0]
+            received[job_index] += 1
+            for session_listener in self._listeners:
+                try:
+                    session_listener(event)
+                except JobCancelled:
+                    job.cancel()
+                except Exception:  # noqa: BLE001 - pump must survive listeners
+                    logger.exception("session listener failed on %s", event.kind)
+
+    def _settle_event_stream(
+        self,
+        queue: Any,
+        pump: threading.Thread,
+        received: List[int],
+        expected: List[int],
+        timeout: float = 30.0,
+    ) -> None:
+        """Wait until every streamed event reached the pump, then stop it.
+
+        The pool map returning only proves the *results* arrived; events
+        travel on a separate queue whose feeder threads may still be
+        flushing.  Workers report how many events they emitted per job,
+        so the parent waits for exactly that many before posting the
+        pump's stop sentinel — making ``run()``'s post-condition "every
+        event observable" deterministic rather than racy.
+        """
+        deadline = time.monotonic() + timeout
+        while any(got < want for got, want in zip(received, expected)):
+            if time.monotonic() > deadline:  # pragma: no cover - defensive
+                logger.warning(
+                    "event stream incomplete after %.0fs: received %s of %s",
+                    timeout, received, expected,
+                )
+                break
+            time.sleep(0.001)
+        queue.put(None)
+        pump.join(timeout=5.0)
+
     def run(
         self,
         jobs: Optional[Sequence[SynthesisJob]] = None,
@@ -443,49 +657,115 @@ class SynthesisSession:
 
         With ``n_workers > 1`` the pending jobs fan out over
         ``ParallelTaskRunner`` worker processes; results (and the order of
-        the returned list) are identical to a serial run.  Per-candidate
-        progress streaming does not cross process boundaries, so parallel
-        jobs carry only their terminal ``"finished"`` event.
+        the returned list) are identical to a serial run.  Worker-side
+        progress events stream back live through a multiprocessing queue
+        drained by a pump thread (``ServiceConfig.stream_worker_events``),
+        so session listeners observe remote jobs per-generation exactly
+        like local ones; ``job.cancel()`` reaches running workers through
+        a shared cancellation flag, and cache entries computed by workers
+        are merged back into this session's backends when each job
+        completes (``ServiceConfig.merge_worker_caches``).  With a
+        configured ``artifact_dir`` the merged caches are persisted for
+        later sessions (``ServiceConfig.persist_caches``).
         """
         pending = [j for j in (jobs if jobs is not None else self.jobs) if j.state is JobState.PENDING]
         n_workers = self.service_config.n_workers if n_workers is None else int(n_workers)
         if n_workers > 1 and len(pending) > 1:
-            from repro.evaluation.runner import ParallelTaskRunner
-
-            specs: List[_ServiceJobSpec] = [
-                (job.method, job.program_length, job.task, job.seed, job.budget_limit)
-                for job in pending
-            ]
+            self._run_parallel(pending, n_workers)
+        else:
             for job in pending:
-                job.state = JobState.RUNNING
-            runner = ParallelTaskRunner(
-                n_workers=n_workers,
-                seed=self.config.seed,
-                payload=self._worker_payload(),
-            )
-            for job, (result, error) in zip(pending, runner.map(_run_service_job, specs)):
-                if result is None:
-                    job.state = JobState.FAILED
-                    job.error = error
-                    logger.warning("job %s failed: %s", job.job_id, job.error)
-                    continue
-                self._finish(job, result)
-                listener = self._job_listener(job)
-                listener(
-                    ProgressEvent(
-                        kind="finished",
-                        method=job.method,
-                        task_id=job.task.task_id,
-                        candidates_used=result.candidates_used,
-                        budget_limit=result.budget_limit,
-                        found=result.found,
-                        found_by=result.found_by,
-                    )
-                )
-            return pending
-        for job in pending:
-            self.run_job(job)
+                self.run_job(job)
+        self._persist_caches()
         return pending
+
+    def _run_parallel(self, pending: List[SynthesisJob], n_workers: int) -> None:
+        """Fan ``pending`` out over worker processes with live streaming."""
+        from repro.evaluation.runner import ParallelTaskRunner
+
+        context = multiprocessing.get_context()
+        stream = self.service_config.stream_worker_events
+        queue = context.Queue() if stream else None
+        # one shared byte per job: the parent raises it, workers poll it
+        # at every emitted event (no lock needed for a monotonic flag)
+        flags = context.Array("b", len(pending), lock=False)
+        specs: List[_ServiceJobSpec] = [
+            (index, job.job_id, job.method, job.program_length, job.task, job.seed,
+             job.budget_limit, self.service_config.progress_every)
+            for index, job in enumerate(pending)
+        ]
+        received = [0] * len(pending)
+        for index, job in enumerate(pending):
+            if job.state is not JobState.PENDING:
+                # cancelled between collecting the pending list and this
+                # fan-out: keep the terminal state and make sure the
+                # worker never runs the job
+                flags[index] = 1
+                continue
+            job.state = JobState.RUNNING
+            job._remote_cancel = _FlagRaiser(flags, index)
+            if job._cancel_requested:  # cancelled between submit and fan-out
+                flags[index] = 1
+        pump = None
+        if queue is not None:
+            pump = threading.Thread(
+                target=self._pump_events,
+                args=(queue, pending, received),
+                name="netsyn-event-pump",
+                daemon=True,
+            )
+            pump.start()
+        runner = ParallelTaskRunner(
+            n_workers=n_workers,
+            seed=self.config.seed,
+            payload=self._worker_payload(),
+            event_queue=queue,
+            cancel_flags=flags,
+        )
+        outcomes: Optional[List[_ServiceJobOutcome]] = None
+        try:
+            outcomes = runner.map(_run_service_job, specs)
+        finally:
+            for job in pending:
+                job._remote_cancel = None
+            if pump is not None:
+                # each worker reports how many events it emitted per job;
+                # wait for exactly those before stopping the pump (on the
+                # exception path nothing is expected — just stop)
+                expected = (
+                    [outcome[3] for outcome in outcomes]
+                    if outcomes is not None
+                    else [0] * len(pending)
+                )
+                self._settle_event_stream(queue, pump, received, expected)
+        for job, (status, result, error, _n_events, delta) in zip(pending, outcomes):
+            if delta and self.service_config.merge_worker_caches:
+                backend = self.backend(job.method, job.program_length)
+                if hasattr(backend, "load_cache_snapshot"):
+                    backend.load_cache_snapshot(delta)
+            if status == "cancelled":
+                job.state = JobState.CANCELLED
+                logger.info("job %s cancelled in worker", job.job_id)
+            elif status != "ok" or result is None:
+                job.state = JobState.FAILED
+                job.error = error
+                logger.warning("job %s failed: %s", job.job_id, job.error)
+            else:
+                self._finish(job, result)
+                if queue is None:
+                    # streaming disabled: synthesize the terminal event so
+                    # job.events still records the outcome
+                    listener = self._job_listener(job)
+                    listener(
+                        ProgressEvent(
+                            kind="finished",
+                            method=job.method,
+                            task_id=job.task.task_id,
+                            candidates_used=result.candidates_used,
+                            budget_limit=result.budget_limit,
+                            found=result.found,
+                            found_by=result.found_by,
+                        )
+                    )
 
     # ------------------------------------------------------------------
     def solve(
@@ -521,6 +801,57 @@ class SynthesisSession:
     def save_artifacts(self, directory) -> None:
         """Persist this session's trained artifacts for later warm starts."""
         self.store.save(directory)
+
+    # ------------------------------------------------------------------
+    def save_caches(self, directory=None) -> Optional[Path]:
+        """Persist this session's warm score/evaluation caches to disk.
+
+        The snapshots land next to the artifacts (``cache_snapshots.pkl``
+        in ``directory``, defaulting to the configured ``artifact_dir``),
+        keyed by the store's model hash so a later session only loads
+        them when its weights match.  Snapshots loaded from disk but not
+        touched this session are carried forward, so sessions serving
+        different (method, length) pairs against one artifact directory
+        accumulate instead of clobbering each other.  Returns the written
+        path, or None when there is nowhere to write or nothing to save.
+        """
+        directory = directory or self.service_config.artifact_dir
+        if not directory:
+            return None
+        snapshots = dict(self._cache_snapshots)
+        for (method, length), backend in self._backends.items():
+            snapshot = getattr(backend, "cache_snapshot", lambda: None)()
+            if snapshot:
+                snapshots[_snapshot_key(method, length)] = snapshot
+        if not snapshots:
+            return None
+        self._cache_snapshots = snapshots
+        return self.store.save_caches(directory, snapshots)
+
+    def _caches_version(self) -> int:
+        """Combined cache-write version of every built backend."""
+        return sum(
+            getattr(backend, "cache_version", lambda: 0)()
+            for backend in self._backends.values()
+        )
+
+    def _persist_caches(self) -> None:
+        """Persist caches after a run when the configuration asks for it.
+
+        Skipped when no backend wrote a cache entry since the last save —
+        a fully-warm ``run()`` costs no model re-hash and no re-pickle of
+        up to ``score_cache_size`` entries.
+        """
+        if not (self.service_config.persist_caches and self.service_config.artifact_dir):
+            return
+        version = self._caches_version()
+        if version == self._persisted_version:
+            return
+        try:
+            if self.save_caches(self.service_config.artifact_dir) is not None:
+                self._persisted_version = version
+        except OSError as error:  # pragma: no cover - disk-full etc.
+            logger.warning("could not persist cache snapshots: %s", error)
 
 
 class SynthesisService:

@@ -86,16 +86,27 @@ def _resolve_payload(payload: Any) -> Any:
         return PayloadResolutionError(error)
 
 
-def _parallel_worker_init(seed: int, payload: Any) -> None:
+def _parallel_worker_init(
+    seed: int, payload: Any, event_queue: Any = None, cancel_flags: Any = None
+) -> None:
     """Initialize one worker: seed its RNGs and stash the shared payload.
 
     The global numpy RNG is seeded per worker (mixed with the PID) as a
     safety net for any library code that touches it; all repo components
     draw from explicitly seeded generators, which is what actually makes
     parallel results byte-identical to serial ones.
+
+    ``event_queue`` (a ``multiprocessing`` queue) and ``cancel_flags`` (a
+    shared byte array, one slot per job) are the service layer's
+    cross-process progress channel: job functions read them back via
+    :func:`worker_event_queue` / :func:`worker_cancel_flags` to stream
+    ``ProgressEvent``\\ s to the parent and to observe cooperative
+    cancellation requests while running.
     """
     np.random.seed((int(seed) * 1_000_003 + os.getpid()) % (2**32))
     _WORKER_STATE["payload"] = _resolve_payload(payload)
+    _WORKER_STATE["event_queue"] = event_queue
+    _WORKER_STATE["cancel_flags"] = cancel_flags
 
 
 class ParallelTaskRunner:
@@ -112,12 +123,29 @@ class ParallelTaskRunner:
         Arbitrary object made available to jobs via
         :func:`worker_payload` (e.g. the trained-model context), shipped
         to each worker exactly once instead of once per job.
+    event_queue:
+        Optional ``multiprocessing`` queue workers stream progress events
+        into (see :func:`worker_event_queue`); queues and shared arrays
+        travel through the pool initializer because they cannot be
+        pickled per task.
+    cancel_flags:
+        Optional shared byte array (one slot per job) workers poll for
+        cooperative cancellation (see :func:`worker_cancel_flags`).
     """
 
-    def __init__(self, n_workers: int = 1, seed: int = 0, payload: Any = None) -> None:
+    def __init__(
+        self,
+        n_workers: int = 1,
+        seed: int = 0,
+        payload: Any = None,
+        event_queue: Any = None,
+        cancel_flags: Any = None,
+    ) -> None:
         self.n_workers = int(n_workers)
         self.seed = int(seed)
         self.payload = payload
+        self.event_queue = event_queue
+        self.cancel_flags = cancel_flags
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Apply ``fn`` to every item, preserving input order.
@@ -128,15 +156,18 @@ class ParallelTaskRunner:
         items = list(items)
         if self.n_workers <= 1 or len(items) <= 1:
             _WORKER_STATE["payload"] = _resolve_payload(self.payload)
+            _WORKER_STATE["event_queue"] = self.event_queue
+            _WORKER_STATE["cancel_flags"] = self.cancel_flags
             try:
                 return [fn(item) for item in items]
             finally:
-                _WORKER_STATE.pop("payload", None)
+                for key in ("payload", "event_queue", "cancel_flags"):
+                    _WORKER_STATE.pop(key, None)
         context = multiprocessing.get_context()
         with context.Pool(
             processes=min(self.n_workers, len(items)),
             initializer=_parallel_worker_init,
-            initargs=(self.seed, self.payload),
+            initargs=(self.seed, self.payload, self.event_queue, self.cancel_flags),
         ) as pool:
             return pool.map(fn, items)
 
@@ -144,6 +175,16 @@ class ParallelTaskRunner:
 def worker_payload() -> Any:
     """The payload the current :class:`ParallelTaskRunner` distributed."""
     return _WORKER_STATE.get("payload")
+
+
+def worker_event_queue() -> Any:
+    """The cross-process progress-event queue of the current runner (or None)."""
+    return _WORKER_STATE.get("event_queue")
+
+
+def worker_cancel_flags() -> Any:
+    """The shared per-job cancellation flags of the current runner (or None)."""
+    return _WORKER_STATE.get("cancel_flags")
 
 
 @dataclass

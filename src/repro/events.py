@@ -33,7 +33,9 @@ without cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+
+from dataclasses import dataclass, field, fields
 from typing import Callable, List, Optional
 
 
@@ -87,6 +89,12 @@ class ProgressEvent:
             "found_by": self.found_by,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProgressEvent":
+        """Rebuild an event from :meth:`to_dict` output (unknown keys ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
 
 #: anything that consumes progress events
 ProgressListener = Callable[[ProgressEvent], None]
@@ -116,3 +124,27 @@ class EventLog:
     @property
     def last(self) -> Optional[ProgressEvent]:
         return self.events[-1] if self.events else None
+
+    def for_job(self, job_id: str) -> List[ProgressEvent]:
+        """Events of one session job, in arrival order.
+
+        Events from one job always arrive in the order they were emitted
+        — also across process boundaries, where a single worker produces
+        them sequentially into the streaming queue — so this sub-sequence
+        is deterministic even when several jobs interleave.
+        """
+        return [event for event in self.events if event.job_id == job_id]
+
+    def save(self, path) -> None:
+        """Persist the log as a JSON array of event dicts."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump([event.to_dict() for event in self.events], handle, indent=2)
+
+    @classmethod
+    def load(cls, path) -> "EventLog":
+        """Reload a log persisted by :meth:`save`."""
+        log = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for data in json.load(handle):
+                log.events.append(ProgressEvent.from_dict(data))
+        return log

@@ -115,6 +115,8 @@ class EvaluationCache:
             raise ValueError("max_entries must be non-negative")
         self.max_entries = int(max_entries)
         self._store: Dict[Tuple[str, Hashable], Any] = {}
+        #: keys written since the last :meth:`clear_dirty` (delta journal)
+        self._dirty: set = set()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -147,11 +149,13 @@ class EvaluationCache:
                 del self._store[stale]
             self.stats.evictions += evict
         self._store[(namespace, key)] = value
+        self._dirty.add((namespace, key))
         self.stats.stores += 1
 
     def clear(self) -> None:
         """Drop every entry (the stats object is preserved)."""
         self._store.clear()
+        self._dirty.clear()
 
     # ------------------------------------------------------------------
     def snapshot(self, namespaces: Optional[Tuple[str, ...]] = None) -> list:
@@ -167,18 +171,43 @@ class EvaluationCache:
         wanted = set(namespaces)
         return [(key, value) for key, value in self._store.items() if key[0] in wanted]
 
+    def clear_dirty(self) -> None:
+        """Start a fresh delta window (e.g. at the start of a worker job)."""
+        self._dirty.clear()
+
+    def dirty_snapshot(self, namespaces: Optional[Tuple[str, ...]] = None) -> list:
+        """Entries written since :meth:`clear_dirty`, store order.
+
+        The per-job merge-back payload: bounded by what the job actually
+        computed, not by the cache size.  Evicted-after-write keys are
+        absent; ``namespaces`` restricts the export like :meth:`snapshot`.
+        """
+        if not self._dirty:
+            return []
+        wanted = None if namespaces is None else set(namespaces)
+        return [
+            (key, value)
+            for key, value in self._store.items()
+            if key in self._dirty and (wanted is None or key[0] in wanted)
+        ]
+
     def load_snapshot(self, items) -> int:
-        """Bulk-insert snapshot pairs; returns how many were stored.
+        """Bulk-insert snapshot pairs; returns how many were retained.
 
         Values are deterministic per key, so loading a snapshot can never
         change results — existing entries are simply overwritten with the
-        identical value.
+        identical value.  This is also the cross-process merge primitive:
+        worker cache deltas merged back into a parent (or a persisted
+        snapshot reloaded in a later process) land here, and merging is
+        idempotent.  A disabled cache retains nothing and reports 0.
         """
-        count = 0
+        items = list(items)
         for (namespace, key), value in items:
             self.put(namespace, key, value)
-            count += 1
-        return count
+        # count after the fact: an entry inserted early can be evicted by
+        # the oldest-quarter sweep a later insert of the same oversized
+        # snapshot triggers, so counting per put would overreport
+        return sum(1 for full_key in {k for k, _ in items} if full_key in self._store)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

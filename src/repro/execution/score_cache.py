@@ -54,6 +54,9 @@ class LRUCache:
             raise ValueError("capacity must be non-negative")
         self.capacity = int(capacity)
         self._store: "OrderedDict[Hashable, Any]" = OrderedDict()
+        #: keys written since the last :meth:`clear_dirty` — the delta
+        #: journal parallel workers export instead of the whole cache
+        self._dirty: set = set()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -92,15 +95,34 @@ class LRUCache:
             self._store.popitem(last=False)
             self.stats.evictions += 1
         self._store[key] = value
+        self._dirty.add(key)
         self.stats.stores += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         self._store.clear()
+        self._dirty.clear()
 
     def items(self) -> List[Tuple[Hashable, Any]]:
         """Snapshot of the entries, least recently used first."""
         return list(self._store.items())
+
+    # ------------------------------------------------------------------
+    def clear_dirty(self) -> None:
+        """Start a fresh delta window (e.g. at the start of a worker job)."""
+        self._dirty.clear()
+
+    def dirty_items(self) -> List[Tuple[Hashable, Any]]:
+        """Entries written since :meth:`clear_dirty`, in store order.
+
+        Keys evicted after being written are silently absent — a delta
+        only ships values that still exist.  This is what bounds the
+        merge-back payload of a parallel job to the entries *that job*
+        computed rather than the whole cache.
+        """
+        if not self._dirty:
+            return []
+        return [(key, value) for key, value in self._store.items() if key in self._dirty]
 
     def load(self, items: Sequence[Tuple[Hashable, Any]]) -> int:
         """Bulk-insert snapshot entries (e.g. from another process).
@@ -111,12 +133,13 @@ class LRUCache:
         overwritten — values are deterministic per key, so this can only
         refresh recency.
         """
-        count = 0
+        items = list(items)  # a generator must survive both passes below
         for key, value in items:
             self.put(key, value)
-            if key in self._store:
-                count += 1
-        return count
+        # count after the fact: an entry inserted early can be evicted by a
+        # later insert of the same oversized snapshot, so counting per put
+        # would overreport what actually survived
+        return sum(1 for key in {key for key, _ in items} if key in self._store)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -195,6 +218,14 @@ class ScoreCache:
     def snapshot(self) -> List[Tuple[Hashable, float]]:
         """Picklable contents (keys are structural, so cross-process safe)."""
         return self._lru.items()
+
+    def clear_dirty(self) -> None:
+        """Start a fresh delta window (see :meth:`LRUCache.clear_dirty`)."""
+        self._lru.clear_dirty()
+
+    def dirty_snapshot(self) -> List[Tuple[Hashable, float]]:
+        """Entries written since :meth:`clear_dirty` (the merge-back delta)."""
+        return self._lru.dirty_items()
 
     def load_snapshot(self, items: Sequence[Tuple[Hashable, float]]) -> int:
         """Warm-start from a snapshot taken in another process."""

@@ -118,7 +118,11 @@ class GeneticAlgorithm:
         Emitted strictly between random draws (after scoring, before
         selection), so attaching a listener never perturbs a seeded run.
         Listener exceptions (notably ``JobCancelled``) propagate and
-        abandon the search.
+        abandon the search — these emission points are the engine's
+        cooperative cancellation points, and they are what bounds how
+        long a cancelled job keeps running: at most one generation (plus
+        at most ``progress_every`` candidates to the next budget-hook
+        event), locally and in worker processes alike.
         """
         if listener is None:
             return

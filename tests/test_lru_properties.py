@@ -1,0 +1,103 @@
+"""Property test: ``LRUCache`` against an ``OrderedDict`` reference model.
+
+The reference model is the textbook LRU: a bounded ``OrderedDict`` where
+every read or write moves the key to the most-recently-used end and
+inserting past capacity pops the least-recently-used entry.  Random
+operation sequences drive both implementations and every observable —
+contents, eviction order, capacity bound, hit/miss/eviction/store
+counters — must agree at every step.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution import LRUCache
+
+#: a small key space forces collisions, evictions and re-insertions
+_KEYS = st.integers(min_value=0, max_value=11)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), _KEYS, st.integers()),
+        st.tuples(st.just("get"), _KEYS),
+        st.tuples(st.just("peek"), _KEYS),
+    ),
+    max_size=200,
+)
+
+
+class _ReferenceLRU:
+    """Unbounded-time, obviously-correct model of the cache contract."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.data: "OrderedDict[int, int]" = OrderedDict()
+        self.hits = self.misses = self.evictions = self.stores = 0
+
+    def put(self, key: int, value: int) -> None:
+        if self.capacity == 0:
+            return
+        if key in self.data:
+            self.data.move_to_end(key)
+        elif len(self.data) >= self.capacity:
+            self.data.popitem(last=False)
+            self.evictions += 1
+        self.data[key] = value
+        self.stores += 1
+
+    def get(self, key: int):
+        if key in self.data:
+            self.hits += 1
+            self.data.move_to_end(key)
+            return self.data[key]
+        self.misses += 1
+        return None
+
+    def peek(self, key: int):
+        return self.data.get(key)
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacity=st.integers(min_value=0, max_value=8), ops=_OPS)
+def test_lru_matches_reference_model(capacity, ops):
+    cache = LRUCache(capacity=capacity)
+    model = _ReferenceLRU(capacity)
+    for op in ops:
+        if op[0] == "put":
+            _, key, value = op
+            cache.put(key, value)
+            model.put(key, value)
+        elif op[0] == "get":
+            assert cache.get(op[1]) == model.get(op[1])
+        else:
+            assert cache.peek(op[1]) == model.peek(op[1])
+        # capacity bound holds after every operation ...
+        assert len(cache) <= capacity
+        # ... and contents agree in eviction (least-recently-used-first) order
+        assert cache.items() == list(model.data.items())
+    assert cache.stats.hits == model.hits
+    assert cache.stats.misses == model.misses
+    assert cache.stats.evictions == model.evictions
+    assert cache.stats.stores == model.stores
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    capacity=st.integers(min_value=0, max_value=6),
+    items=st.lists(st.tuples(_KEYS, st.integers()), max_size=30),
+)
+def test_lru_load_reports_surviving_entries(capacity, items):
+    """``load`` returns how many snapshot keys survive the bound."""
+    cache = LRUCache(capacity=capacity)
+    retained = cache.load(items)
+    survivors = {key for key, _ in items if key in cache}
+    assert retained == len(survivors)
+    assert len(cache) <= capacity
+    # the survivors hold the *last* snapshot value per key
+    expected = dict(items)
+    for key in survivors:
+        assert cache.peek(key) == expected[key]

@@ -106,6 +106,62 @@ class TestScoreCache:
         assert other.get(gene, io_key) == 2.25
 
 
+class TestEvaluationCacheLoadSnapshot:
+    def test_retained_count_respects_the_bound(self):
+        from repro.execution import EvaluationCache
+
+        small = EvaluationCache(max_entries=4)
+        items = [(("ns", i), i) for i in range(10)]
+        retained = small.load_snapshot(items)
+        assert retained == len(small) <= 4
+        disabled = EvaluationCache(max_entries=0)
+        assert disabled.load_snapshot(items) == 0
+
+
+class TestDirtyDeltaJournals:
+    def test_lru_dirty_window_tracks_only_new_writes(self):
+        cache = LRUCache(capacity=8)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear_dirty()
+        assert cache.dirty_items() == []
+        cache.put("c", 3)
+        cache.get("a")  # reads never dirty an entry
+        assert cache.dirty_items() == [("c", 3)]
+
+    def test_evaluation_cache_dirty_window_and_namespaces(self):
+        from repro.execution import EvaluationCache
+
+        cache = EvaluationCache(max_entries=16)
+        cache.put("outputs", "k1", [1])
+        cache.clear_dirty()
+        cache.put("solutions", "k2", True)
+        cache.put("traces", "k3", "heavy")
+        assert cache.dirty_snapshot(("outputs", "solutions")) == [(("solutions", "k2"), True)]
+        assert len(cache.dirty_snapshot()) == 2
+
+    def test_backend_delta_snapshot_excludes_previous_jobs(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task, tiny_suite
+    ):
+        backend = NetSynBackend(tiny_netsyn_config).set_models(
+            trace_artifacts=tiny_trace_artifacts, fp_artifacts=tiny_fp_artifacts
+        )
+        backend.begin_cache_delta()
+        backend.solve_io(tiny_task.io_set, budget=SearchBudget(limit=600), seed=0)
+        first_delta = backend.cache_snapshot(dirty_only=True)
+        assert first_delta and first_delta["scores"]
+        # the next job's delta window contains none of the first job's work
+        backend.begin_cache_delta()
+        backend.solve_io(tiny_suite[0].io_set, budget=SearchBudget(limit=600), seed=0)
+        second_delta = backend.cache_snapshot(dirty_only=True) or {}
+        first_keys = {key for key, _ in first_delta["scores"]}
+        second_keys = {key for key, _ in second_delta.get("scores", [])}
+        assert not (first_keys & second_keys)
+        # and the full snapshot still carries everything
+        full_keys = {key for key, _ in backend.cache_snapshot()["scores"]}
+        assert first_keys | second_keys <= full_keys
+
+
 # ---------------------------------------------------------------------------
 # batch-shape invariance and score memoization bit-identity
 # ---------------------------------------------------------------------------
@@ -424,3 +480,80 @@ class TestSharedMemoryServing:
         jobs = [session.submit(task, budget=200, seed=0) for task in tiny_suite]
         session.run(n_workers=2)
         assert all(job.state.value in ("solved", "exhausted") for job in jobs)
+
+
+# ---------------------------------------------------------------------------
+# persistent cross-session cache snapshots (keyed by model hash)
+# ---------------------------------------------------------------------------
+
+
+def _snapshots_equal(a, b):
+    """Deep equality of cache_snapshot dicts (maps hold numpy arrays)."""
+    assert set(a) == set(b)
+    for section in a:
+        if section == "maps":
+            assert len(a[section]) == len(b[section])
+            for (key_a, value_a), (key_b, value_b) in zip(a[section], b[section]):
+                assert key_a == key_b
+                np.testing.assert_array_equal(value_a, value_b)
+        else:
+            assert a[section] == b[section]
+
+
+class TestPersistentCacheSnapshots:
+    def _warm_backend(self, config, trace, fp, task):
+        backend = NetSynBackend(config).set_models(trace_artifacts=trace, fp_artifacts=fp)
+        backend.solve_io(task.io_set, budget=SearchBudget(limit=600), seed=0)
+        return backend
+
+    def test_save_load_round_trip_bit_identical(
+        self, tmp_path, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task
+    ):
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        backend = self._warm_backend(
+            tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task
+        )
+        snapshots = {"netsyn_cf:None": backend.cache_snapshot()}
+        path = store.save_caches(tmp_path, snapshots)
+        assert path.is_file()
+        assert ArtifactStore.caches_saved_at(tmp_path)
+        reloaded = store.load_caches(tmp_path)
+        assert set(reloaded) == {"netsyn_cf:None"}
+        _snapshots_equal(reloaded["netsyn_cf:None"], snapshots["netsyn_cf:None"])
+        # and the reloaded snapshot warm-starts a fresh backend exactly
+        # like the in-memory one
+        cold = NetSynBackend(tiny_netsyn_config).set_models(
+            trace_artifacts=tiny_trace_artifacts, fp_artifacts=tiny_fp_artifacts
+        )
+        cold.load_cache_snapshot(reloaded["netsyn_cf:None"])
+        again = cold.solve_io(tiny_task.io_set, budget=SearchBudget(limit=600), seed=0)
+        reference = backend.solve_io(tiny_task.io_set, budget=SearchBudget(limit=600), seed=0)
+        assert again.candidates_used == reference.candidates_used
+        assert again.average_fitness_history == reference.average_fitness_history
+
+    def test_stale_model_hash_invalidates(
+        self, tmp_path, tiny_trace_artifacts, tiny_fp_artifacts
+    ):
+        full = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        full.save_caches(tmp_path, {"netsyn_cf:None": {"scores": [(("k",), 1.0)]}})
+        # a store holding different weights must not serve the snapshot
+        partial = ArtifactStore(cf=tiny_trace_artifacts)
+        assert partial.model_hash() != full.model_hash()
+        assert partial.load_caches(tmp_path) == {}
+        # the matching store still does
+        assert full.load_caches(tmp_path) != {}
+
+    def test_missing_or_corrupt_snapshot_is_a_cold_start(self, tmp_path, tiny_fp_artifacts):
+        store = ArtifactStore(fp=tiny_fp_artifacts)
+        assert store.load_caches(tmp_path) == {}
+        from repro.core.artifacts import CACHE_SNAPSHOTS_FILE
+
+        (tmp_path / CACHE_SNAPSHOTS_FILE).write_bytes(b"not a pickle")
+        assert store.load_caches(tmp_path) == {}
+
+    def test_model_hash_tracks_weights(self, tiny_trace_artifacts, tiny_fp_artifacts):
+        a = ArtifactStore(cf=tiny_trace_artifacts)
+        b = ArtifactStore(cf=tiny_trace_artifacts)
+        assert a.model_hash() == b.model_hash()
+        assert ArtifactStore().model_hash() == ArtifactStore().model_hash()
+        assert a.model_hash() != ArtifactStore(fp=tiny_fp_artifacts).model_hash()

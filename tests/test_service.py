@@ -514,6 +514,144 @@ class TestSynthesisService:
 # ---------------------------------------------------------------------------
 
 
+# ---------------------------------------------------------------------------
+# Worker cache merge-back and persisted cross-session warm starts
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerCacheMergeBack:
+    def test_worker_deltas_warm_the_parent(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_suite
+    ):
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        session = SynthesisSession(tiny_netsyn_config, store, methods=("netsyn_cf",))
+        tasks = list(tiny_suite)[:2]
+        first = [session.submit(task, budget=300, seed=1) for task in tasks]
+        session.run(n_workers=2)
+        assert all(job.state in (JobState.SOLVED, JobState.EXHAUSTED) for job in first)
+
+        # the parent session never ran these jobs locally, yet its backend
+        # now holds the workers' cache entries
+        backend = session.backend("netsyn_cf").backend
+        assert backend.cache_version() > 0
+        score_stats = backend._score_cache.stats
+        hits_before, misses_before = score_stats.hits, score_stats.misses
+
+        # a repeated serial run of the same jobs is answered from the
+        # merged caches: strictly more hits, not a single new score miss
+        second = [session.submit(task, budget=300, seed=1) for task in tasks]
+        session.run(n_workers=1)
+        for a, b in zip(first, second):
+            _results_equal(a.result, b.result)
+        assert score_stats.hits > hits_before
+        assert score_stats.misses == misses_before
+
+    def test_merge_back_can_be_disabled(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_suite
+    ):
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        session = SynthesisSession(
+            tiny_netsyn_config,
+            store,
+            methods=("netsyn_cf",),
+            service_config=ServiceConfig(merge_worker_caches=False),
+        )
+        jobs = [session.submit(task, budget=300, seed=1) for task in list(tiny_suite)[:2]]
+        session.run(n_workers=2)
+        assert all(job.done for job in jobs)
+        backend = session._backends.get(("netsyn_cf", None))
+        assert backend is None or backend.cache_version() == 0
+
+
+class TestPersistedSessionCaches:
+    def _service_config(self, tmp_path):
+        return ServiceConfig(artifact_dir=str(tmp_path / "artifacts"))
+
+    def test_reopened_session_pays_zero_scoring_forwards(
+        self, tmp_path, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task
+    ):
+        service_config = self._service_config(tmp_path)
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        store.save(service_config.artifact_dir)
+
+        first_session = SynthesisSession(
+            tiny_netsyn_config, store, methods=("netsyn_cf",), service_config=service_config
+        )
+        first = first_session.submit(tiny_task, budget=400, seed=3)
+        first_session.run()
+        assert ArtifactStore.caches_saved_at(service_config.artifact_dir)
+
+        # "new process": everything — weights and caches — comes off disk
+        reopened_store = ArtifactStore.load(service_config.artifact_dir)
+        second_session = SynthesisSession(
+            tiny_netsyn_config,
+            reopened_store,
+            methods=("netsyn_cf",),
+            service_config=service_config,
+        )
+        forwards = []
+        for name in ("cf", "fp"):
+            model = reopened_store.get(name).model
+            original = model.predict_fitness if name == "cf" else model.predict_probability_map
+            def counted(batch, _original=original, _name=name):
+                forwards.append(_name)
+                return _original(batch)
+            if name == "cf":
+                model.predict_fitness = counted
+            else:
+                model.predict_probability_map = counted
+
+        second = second_session.submit(tiny_task, budget=400, seed=3)
+        second_session.run()
+        _results_equal(first.result, second.result)
+        # every (program, io_set) score and the spec's probability map
+        # were persisted — the re-opened session never touches the NN
+        assert forwards == []
+
+    def test_stale_weights_fall_back_to_cold_start(
+        self, tmp_path, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_task
+    ):
+        service_config = self._service_config(tmp_path)
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        first_session = SynthesisSession(
+            tiny_netsyn_config, store, methods=("netsyn_cf",), service_config=service_config
+        )
+        first_session.submit(tiny_task, budget=300, seed=0)
+        first_session.run()
+        assert ArtifactStore.caches_saved_at(service_config.artifact_dir)
+        # a session over different weights ignores the persisted snapshot
+        stale = SynthesisSession(
+            tiny_netsyn_config,
+            ArtifactStore(cf=tiny_trace_artifacts),  # fp model missing -> new hash
+            methods=("netsyn_cf",),
+            service_config=service_config,
+        )
+        assert stale._cache_snapshots == {}
+
+    def test_sessions_accumulate_snapshots_per_method(
+        self, tmp_path, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_suite
+    ):
+        service_config = self._service_config(tmp_path)
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        cf_session = SynthesisSession(
+            tiny_netsyn_config, store, methods=("netsyn_cf",), service_config=service_config
+        )
+        cf_session.submit(tiny_suite[0], budget=300, seed=0)
+        cf_session.run()
+        fp_session = SynthesisSession(
+            tiny_netsyn_config.replace(fitness_kind="fp"),
+            store,
+            methods=("netsyn_fp",),
+            service_config=service_config,
+        )
+        fp_session.submit(tiny_suite[1], budget=300, seed=0)
+        fp_session.run()
+        # the second session carried the first one's snapshot forward
+        merged = store.load_caches(service_config.artifact_dir)
+        assert "netsyn_cf:None" in merged
+        assert "netsyn_fp:None" in merged
+
+
 class TestDeprecatedShims:
     def test_netsyn_warns_but_works(self, edit_config, tiny_task):
         with pytest.warns(DeprecationWarning):
