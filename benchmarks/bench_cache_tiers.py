@@ -1,0 +1,158 @@
+"""Cache-tier costs: L3 append vs whole-file rewrite, L2 table throughput.
+
+The L3 tier replaced the whole-file ``cache_snapshots.pkl`` rewrite with
+an append-only segment log: persisting after a run now costs O(new
+entries) instead of O(accumulated cache).  This benchmark measures both
+ways at a configurable cache size, plus the raw put/get throughput of
+the L2 shared mmap table (:class:`~repro.execution.SharedScoreTable`).
+
+Results are appended to ``BENCH_cache_tiers.json`` at the repository
+root so the trajectory across PRs is preserved.
+
+Scale knobs: ``NETSYN_BENCH_CACHE_ENTRIES`` (accumulated entries,
+default 50000), ``NETSYN_BENCH_DIRTY_FRACTION`` (per-run new-entry
+fraction, default 0.01), ``NETSYN_BENCH_TABLE_OPS`` (L2 ops, default
+20000).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.artifacts import CACHE_SNAPSHOTS_FILE, ArtifactStore
+from repro.execution.shared_table import SharedScoreTable, io_token, structural_key64
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_cache_tiers.json"
+
+N_ENTRIES = int(os.environ.get("NETSYN_BENCH_CACHE_ENTRIES", "50000"))
+DIRTY_FRACTION = float(os.environ.get("NETSYN_BENCH_DIRTY_FRACTION", "0.01"))
+TABLE_OPS = int(os.environ.get("NETSYN_BENCH_TABLE_OPS", "20000"))
+ROUNDS = 8
+
+
+def _entries(start: int, count: int) -> list:
+    """Synthetic structural score entries shaped like the real ones."""
+    return [
+        (((start + i, 7, 3, 1), ((1, 2, 3), (4, 5, 6))), float(start + i) / 7.0)
+        for i in range(count)
+    ]
+
+
+def _legacy_rewrite(directory: Path, store: ArtifactStore, snapshots: dict) -> None:
+    """The pre-log persistence: pickle the whole accumulated cache."""
+    payload = {
+        "format_version": 1,
+        "model_hash": store.model_hash(),
+        "snapshots": snapshots,
+    }
+    with (directory / CACHE_SNAPSHOTS_FILE).open("wb") as handle:
+        pickle.dump(payload, handle)
+
+
+def _append_trajectory(record: dict) -> None:
+    history = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_l3_append_vs_whole_file_rewrite():
+    store = ArtifactStore()  # empty store: a stable model hash, no training
+    dirty = max(1, int(N_ENTRIES * DIRTY_FRACTION))
+    base = _entries(0, N_ENTRIES)
+    workdir = Path(tempfile.mkdtemp(prefix="netsyn-bench-tiers-"))
+    try:
+        # -- legacy: every "run" rewrites base + everything so far ------
+        legacy_dir = workdir / "legacy"
+        legacy_dir.mkdir()
+        accumulated = list(base)
+        start = time.perf_counter()
+        for round_index in range(ROUNDS):
+            accumulated += _entries(N_ENTRIES + round_index * dirty, dirty)
+            _legacy_rewrite(
+                legacy_dir, store, {"netsyn_cf:None": {"scores": accumulated}}
+            )
+        legacy_elapsed = (time.perf_counter() - start) / ROUNDS
+
+        # -- L3: seed once, then append only each run's dirty entries
+        # (threshold kept above ROUNDS so compaction is timed separately)
+        log_dir = workdir / "log"
+        log_dir.mkdir()
+        store.save_caches(log_dir, {"netsyn_cf:None": {"scores": base}})
+        start = time.perf_counter()
+        for round_index in range(ROUNDS):
+            delta = _entries(N_ENTRIES + round_index * dirty, dirty)
+            store.save_caches(
+                log_dir,
+                {"netsyn_cf:None": {"scores": delta}},
+                compact_threshold=ROUNDS + 2,
+            )
+        append_elapsed = (time.perf_counter() - start) / ROUNDS
+
+        # the occasional cost appends amortize: folding the whole log
+        start = time.perf_counter()
+        store.compact_cache_log(log_dir)
+        compact_elapsed = time.perf_counter() - start
+
+        # the log still reloads to the same contents the rewrite holds
+        merged = store.load_caches(log_dir)
+        assert len(merged["netsyn_cf:None"]["scores"]) == N_ENTRIES + ROUNDS * dirty
+
+        # -- L2: raw shared-table throughput ----------------------------
+        # size the table to a <50% load factor so probe chains stay short
+        table = SharedScoreTable.create(
+            workdir / "scores.bin", n_slots=1 << max(TABLE_OPS.bit_length() + 1, 10)
+        )
+        token = io_token(((1, 2, 3), (4, 5, 6)))
+        keys = [structural_key64((i,), token) for i in range(TABLE_OPS)]
+        start = time.perf_counter()
+        for index, key in enumerate(keys):
+            table.put(key, float(index))
+        put_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        for key in keys:
+            table.get(key)
+        get_elapsed = time.perf_counter() - start
+        assert table.stats.hits == TABLE_OPS
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cache_entries": N_ENTRIES,
+        "dirty_entries_per_run": dirty,
+        "rounds": ROUNDS,
+        "legacy_rewrite_seconds_per_run": legacy_elapsed,
+        "l3_append_seconds_per_run": append_elapsed,
+        "l3_compaction_seconds": compact_elapsed,
+        "append_speedup_vs_rewrite": legacy_elapsed / append_elapsed,
+        "l2_table_ops": TABLE_OPS,
+        "l2_puts_per_second": TABLE_OPS / put_elapsed,
+        "l2_gets_per_second": TABLE_OPS / get_elapsed,
+    }
+    _append_trajectory(record)
+    print(json.dumps(record, indent=2))
+
+    # Regression gate: appending a 1% delta must beat rewriting the
+    # whole accumulated cache comfortably, even on noisy runners.
+    assert append_elapsed < legacy_elapsed, (
+        f"L3 append ({append_elapsed:.4f}s) is not cheaper than the "
+        f"whole-file rewrite ({legacy_elapsed:.4f}s)"
+    )
+
+
+if __name__ == "__main__":
+    test_l3_append_vs_whole_file_rewrite()

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Parallel session quickstart: live streaming, cancellation, warm restart.
+"""Parallel session quickstart: streaming, cancellation, cache tiers.
 
 This is the multi-worker counterpart of ``examples/quickstart.py`` (and
-the driver behind the CI parallel smoke job).  It demonstrates the three
+the driver behind the CI parallel smoke job).  It demonstrates the
 serving-path guarantees of the session layer:
 
 1. **Live cross-process streaming** — jobs fanned out over 2 worker
@@ -14,19 +14,28 @@ serving-path guarantees of the session layer:
    from the parent while it runs inside a worker; the shared flag stops
    the worker within a generation and the job ends ``CANCELLED`` with no
    ``finished`` event.
-3. **Warm restart** — a re-opened session loads the persisted Phase-1
-   artifacts *and* the persisted score/evaluation caches (keyed by model
-   hash), so repeating a request costs cache lookups, not NN forwards.
+3. **The L2 shared score table** — with
+   ``ServiceConfig.shared_score_table`` the workers share one lock-free
+   mmap table of predicted scores: re-running the same requests is
+   served from entries *other worker processes* published, visible as
+   nonzero ``shared_cross_hits`` on the streamed generation events.
+4. **The L3 cache log + warm restart** — each ``run()`` appends one
+   segment to ``cache_log/`` (no whole-file rewrite); a re-opened
+   session loads the log (keyed by model hash) and repeats a request
+   bit-identically from cache.
 
 Run with ``python examples/parallel_quickstart.py``; takes well under a
 minute.  ``NETSYN_ARTIFACT_DIR`` and ``NETSYN_EVENT_LOG`` override the
 artifact directory and the event-log path.
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
 from repro import NetSynConfig, ServiceConfig, SynthesisService
+from repro.core.artifacts import CACHE_LOG_DIR, CACHE_LOG_MANIFEST, CACHE_SNAPSHOTS_FILE
 from repro.core.service import JobState
 from repro.data import make_synthesis_task
 from repro.data.tasks import SynthesisTask
@@ -49,17 +58,22 @@ def impossible_task(template) -> SynthesisTask:
 
 
 def main() -> None:
-    config = NetSynConfig.small(fitness_kind="fp", seed=3)
+    config = NetSynConfig.small(fitness_kind="cf", seed=3)
     artifact_dir = os.environ.get("NETSYN_ARTIFACT_DIR", ".netsyn-artifacts-parallel")
     event_log_path = os.environ.get("NETSYN_EVENT_LOG", "parallel_event_log.json")
     service = SynthesisService(
         config,
-        service_config=ServiceConfig(artifact_dir=artifact_dir, progress_every=500),
+        service_config=ServiceConfig(
+            artifact_dir=artifact_dir,
+            progress_every=500,
+            shared_score_table=True,  # the L2 tier
+            table_slots=1 << 14,
+        ),
     )
 
-    print("Phase 1: training (or warm-starting) the FP model ...")
+    print("Phase 1: training (or warm-starting) the CF fitness model ...")
     start = time.time()
-    session = service.open_session(methods=("netsyn_fp",))
+    session = service.open_session(methods=("netsyn_cf",))
     print(f"  session ready in {time.time() - start:.1f}s (artifacts: {session.store.names()})")
 
     tasks = [make_synthesis_task(length=4, seed=s, dsl_config=config.dsl) for s in (101, 103, 107)]
@@ -95,23 +109,50 @@ def main() -> None:
         kinds = [event.kind for event in job.events]
         assert kinds[0] == "started" and kinds[-1] == "finished"
 
+    print("\nL2: re-running the same requests against the shared score table ...")
+    start = time.time()
+    repeats = [session.submit(task, budget=3_000, seed=3) for task in tasks]
+    session.run(n_workers=2)
+    elapsed = time.time() - start
+    for first, again in zip(jobs, repeats):
+        assert again.result.found == first.result.found
+        assert again.result.candidates_used == first.result.candidates_used
+    cross_hits = sum(
+        event.shared_cross_hits
+        for job in repeats
+        for event in job.events
+        if event.kind in ("generation", "neighborhood")
+    )
+    # run 2's pool is a fresh set of pids, so every L2 score hit comes
+    # from an entry another worker process published — cross by definition
+    assert cross_hits > 0, "expected cross-worker L2 hits on the repeated run"
+    print(f"  repeated 3 jobs in {elapsed:.1f}s with {cross_hits} cross-worker L2 hits")
+
     log.save(event_log_path)
     print(f"  event log ({len(log)} events) written to {event_log_path}")
 
-    print("\nWarm restart: re-opening the session from persisted artifacts + caches ...")
+    # -- the L3 cache log: appended segments, no whole-file rewrite ------
+    manifest_path = Path(artifact_dir) / CACHE_LOG_DIR / CACHE_LOG_MANIFEST
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["segments"], "each run() should append a cache-log segment"
+    assert not (Path(artifact_dir) / CACHE_SNAPSHOTS_FILE).exists()
+    print(f"  L3 cache log: {len(manifest['segments'])} segment(s), "
+          f"{sum(s['entries'] for s in manifest['segments'])} entries ({manifest_path})")
+
+    print("\nWarm restart: re-opening the session from persisted artifacts + cache log ...")
     start = time.time()
-    warm = service.open_session(methods=("netsyn_fp",))
+    warm = service.open_session(methods=("netsyn_cf",))
     repeat = warm.submit(tasks[0], budget=3_000, seed=3)
     warm.run()
     elapsed = time.time() - start
     reference = jobs[0]
     assert repeat.result.found == reference.result.found
     assert repeat.result.candidates_used == reference.result.candidates_used
-    backend = warm.backend("netsyn_fp")
+    backend = warm.backend("netsyn_cf")
     assert backend.cache_version() > 0, "persisted caches were not loaded"
     print(f"  repeated {tasks[0].task_id} in {elapsed:.1f}s, bit-identical to the cold run, "
-          "served from the persisted cache")
-    print("\nOK: streaming, cancellation and warm restart all verified.")
+          "served from the persisted cache log")
+    print("\nOK: streaming, cancellation, L2 sharing and the L3 log all verified.")
 
 
 if __name__ == "__main__":

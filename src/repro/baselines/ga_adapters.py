@@ -70,6 +70,13 @@ class NetSynSynthesizer(Synthesizer):
     def begin_cache_delta(self) -> None:
         self.backend.begin_cache_delta()
 
+    @property
+    def score_table(self):
+        return self.backend.score_table
+
+    def attach_score_table(self, table) -> None:
+        self.backend.attach_score_table(table)
+
     # ------------------------------------------------------------------
     def synthesize(
         self,

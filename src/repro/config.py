@@ -311,6 +311,25 @@ class ServiceConfig:
     #: snapshot the session's evaluation/score caches into the shared
     #: segment so workers start warm (keys are process-stable)
     share_worker_caches: bool = True
+    #: L2 tier: share a lock-free mmap score table (shared_scores.bin,
+    #: next to the packed weights) across the parent and every worker of
+    #: a parallel run, so one worker's NN forward serves all others while
+    #: a job is still running.  Off by default: values are deterministic
+    #: per structural key so results cannot change, but per-event cache
+    #: counters can differ from a serial run when jobs overlap.  Requires
+    #: ``shared_weights`` (the table lives in the shared segment dir).
+    shared_score_table: bool = False
+    #: slot count of the shared score table (power of two; 64 B per slot)
+    table_slots: int = 1 << 16
+    #: coalesce worker progress events into batches of this size before
+    #: they cross the multiprocessing queue (flushed when full, when the
+    #: next event arrives >50 ms after the last flush, and at job end, so
+    #: per-job stream order and completeness are unchanged).  1 = one
+    #: queue put per event (the historical path)
+    event_batch_size: int = 1
+    #: fold the L3 cache log into one deduplicated segment whenever it
+    #: exceeds this many segments
+    cache_log_compact_threshold: int = 8
     #: stream worker-side progress events back to the parent through a
     #: multiprocessing queue (drained live by a pump thread), so session
     #: listeners observe remote jobs exactly like local ones; False
@@ -338,6 +357,12 @@ class ServiceConfig:
             raise ValueError("progress_every must be at least 1")
         if self.max_events_per_job < 1:
             raise ValueError("max_events_per_job must be at least 1")
+        if self.table_slots <= 0 or self.table_slots & (self.table_slots - 1):
+            raise ValueError("table_slots must be a positive power of two")
+        if self.event_batch_size < 1:
+            raise ValueError("event_batch_size must be at least 1")
+        if self.cache_log_compact_threshold < 1:
+            raise ValueError("cache_log_compact_threshold must be at least 1")
 
 
 @dataclass

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -33,8 +33,21 @@ _STORE_MANIFEST = "store.json"
 SHARED_WEIGHTS_BIN = "shared_weights.bin"
 SHARED_WEIGHTS_MANIFEST = "shared_weights.json"
 
-#: persisted score/evaluation-cache snapshots, next to the artifacts
+#: legacy persisted cache snapshots (whole-file pickle, rewritten per
+#: run) — still loaded for backward compatibility; new sessions write
+#: the append-only cache log below instead
 CACHE_SNAPSHOTS_FILE = "cache_snapshots.pkl"
+
+#: the L3 tier: an append-only segment log of cache snapshots.  Each
+#: run() appends one segment holding only the entries written since the
+#: last persist; the manifest keys the whole log by model hash
+CACHE_LOG_DIR = "cache_log"
+CACHE_LOG_MANIFEST = "manifest.json"
+_SEGMENT_FORMAT = "segment-{seq:06d}.pkl"
+
+#: default number of segments the log may grow to before it is folded
+#: into one deduplicated segment (see ``compact_cache_log``)
+DEFAULT_COMPACT_THRESHOLD = 8
 
 #: alignment of each parameter inside the packed segment (cache lines)
 _SHARED_ALIGN = 64
@@ -74,6 +87,9 @@ class ArtifactStore:
     fp: Optional[Phase1Artifacts] = None
     step: Optional[Phase1Artifacts] = None
     decoder: Optional[Phase1Artifacts] = None
+    #: memo of :meth:`model_hash` — weights are immutable once an
+    #: artifact is in the store, so the hash only changes via set/delete
+    _model_hash: Optional[str] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -97,6 +113,7 @@ class ArtifactStore:
     def set(self, name: str, artifacts: Phase1Artifacts) -> "ArtifactStore":
         self._validate_name(name)
         setattr(self, name, artifacts)
+        self._model_hash = None
         return self
 
     def has(self, name: str) -> bool:
@@ -115,6 +132,7 @@ class ArtifactStore:
         """Drop the named artifact (no-op when absent)."""
         self._validate_name(name)
         setattr(self, name, None)
+        self._model_hash = None
 
     def as_dict(self) -> Dict[str, Phase1Artifacts]:
         """Plain-dict snapshot (the deprecated ``context.artifacts`` shape)."""
@@ -270,43 +288,55 @@ class ArtifactStore:
         different seed, a different preset).  An empty store hashes to a
         stable constant, so artifact-free sessions (edit/oracle) can
         still persist their model-independent evaluation caches.
+
+        Memoized: weights are immutable once an artifact is in the store
+        (training happens before :meth:`set`, attached segments are
+        read-only), so the O(model-size) serialize-and-hash walk runs
+        once per store mutation instead of once per persisting ``run()``.
         """
-        digest = hashlib.sha256()
-        for name in self.names():
-            state = self.get(name).model.state_dict()
-            for param_name in sorted(state):
-                digest.update(f"{name}/{param_name}".encode())
-                digest.update(np.ascontiguousarray(state[param_name], dtype="<f8").tobytes())
-        return digest.hexdigest()
+        if self._model_hash is None:
+            digest = hashlib.sha256()
+            for name in self.names():
+                state = self.get(name).model.state_dict()
+                for param_name in sorted(state):
+                    digest.update(f"{name}/{param_name}".encode())
+                    digest.update(np.ascontiguousarray(state[param_name], dtype="<f8").tobytes())
+            self._model_hash = digest.hexdigest()
+        return self._model_hash
 
-    def save_caches(self, directory: PathLike, snapshots: Dict[str, dict]) -> Path:
-        """Persist per-backend cache snapshots next to the artifacts.
+    def _log_dir(self, directory: PathLike) -> Path:
+        return Path(directory) / CACHE_LOG_DIR
 
-        ``snapshots`` maps ``"<method>:<program_length>"`` to the output
-        of ``NetSynBackend.cache_snapshot()`` (structural keys, so the
-        pickle is process-stable).  The file is keyed by
-        :meth:`model_hash` and invalidated by :meth:`load_caches` when
-        the weights on disk no longer match.
-        """
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / CACHE_SNAPSHOTS_FILE
-        payload = {
-            "format_version": 1,
-            "model_hash": self.model_hash(),
-            "snapshots": dict(snapshots),
-        }
-        with path.open("wb") as handle:
-            pickle.dump(payload, handle)
-        return path
+    @staticmethod
+    def _read_manifest(log_dir: Path) -> Optional[dict]:
+        path = log_dir / CACHE_LOG_MANIFEST
+        if not path.is_file():
+            return None
+        try:
+            manifest = load_json(path)
+        except (OSError, ValueError):
+            return None
+        return manifest if isinstance(manifest, dict) else None
 
-    def load_caches(self, directory: PathLike) -> Dict[str, dict]:
-        """Reload snapshots saved by :meth:`save_caches` (``{}`` when absent).
+    @staticmethod
+    def _load_segment(path: Path) -> Dict[str, dict]:
+        """One segment's snapshots ({} for a missing/corrupt segment)."""
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return {}
+        snapshots = payload.get("snapshots", {}) if isinstance(payload, dict) else {}
+        return snapshots if isinstance(snapshots, dict) else {}
 
-        A snapshot written under different model weights (stale hash) or
-        an unreadable file yields ``{}`` — a cold start, never an error:
-        the cache is an optimization, not state the session depends on.
-        """
+    @staticmethod
+    def _count_entries(snapshots: Dict[str, dict]) -> int:
+        return sum(
+            len(entries) for parts in snapshots.values() for entries in parts.values()
+        )
+
+    def _load_legacy_caches(self, directory: PathLike) -> Dict[str, dict]:
+        """Snapshots from the pre-log whole-file pickle ({} when stale)."""
         path = Path(directory) / CACHE_SNAPSHOTS_FILE
         if not path.is_file():
             return {}
@@ -320,7 +350,139 @@ class ArtifactStore:
         snapshots = payload.get("snapshots", {})
         return snapshots if isinstance(snapshots, dict) else {}
 
+    def save_caches(
+        self,
+        directory: PathLike,
+        snapshots: Dict[str, dict],
+        compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+    ) -> Path:
+        """Append one cache-log segment next to the artifacts (the L3 tier).
+
+        ``snapshots`` maps ``"<method>:<program_length>"`` to the output
+        of ``NetSynBackend.cache_snapshot()`` — ideally the *dirty-only*
+        delta since the last persist: unlike the old whole-file
+        ``cache_snapshots.pkl`` rewrite, the write cost scales with the
+        new entries, not with the accumulated cache size.  The log's
+        manifest is keyed by :meth:`model_hash`; appending under changed
+        weights resets the log (stale scores must never survive a
+        retrain), and a legacy whole-file pickle with a matching hash is
+        migrated into the log as its first segment.  When the log
+        exceeds ``compact_threshold`` segments it is folded into one
+        deduplicated segment (newest entry per key wins).
+
+        Returns the path of the appended segment.
+        """
+        log_dir = self._log_dir(directory)
+        log_dir.mkdir(parents=True, exist_ok=True)
+        model_hash = self.model_hash()
+        manifest = self._read_manifest(log_dir)
+        if manifest is None or manifest.get("model_hash") != model_hash:
+            for stale in log_dir.glob("segment-*.pkl"):
+                stale.unlink(missing_ok=True)
+            manifest = {
+                "format_version": 1,
+                "model_hash": model_hash,
+                "next_seq": 1,
+                "segments": [],
+            }
+            legacy = self._load_legacy_caches(directory)
+            if legacy:
+                self._append_segment(log_dir, manifest, legacy)
+        path = self._append_segment(log_dir, manifest, snapshots)
+        if len(manifest["segments"]) > max(1, int(compact_threshold)):
+            self._compact(log_dir, manifest)
+        save_json(log_dir / CACHE_LOG_MANIFEST, manifest)
+        return path
+
+    @classmethod
+    def _append_segment(
+        cls, log_dir: Path, manifest: dict, snapshots: Dict[str, dict]
+    ) -> Path:
+        """Write one segment file and record it in ``manifest`` (in memory)."""
+        seq = int(manifest["next_seq"])
+        manifest["next_seq"] = seq + 1
+        name = _SEGMENT_FORMAT.format(seq=seq)
+        path = log_dir / name
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump({"format_version": 2, "snapshots": dict(snapshots)}, handle)
+        tmp.replace(path)
+        manifest["segments"].append(
+            {"file": name, "entries": cls._count_entries(snapshots)}
+        )
+        return path
+
+    @classmethod
+    def _merge_segments(cls, log_dir: Path, manifest: dict) -> Dict[str, dict]:
+        """Concatenate every segment's entries, oldest segment first.
+
+        Per snapshot key and section the entry lists are concatenated in
+        append order, so when a later segment re-writes a key its entry
+        comes last — exactly what the LRU load path wants (later entries
+        overwrite earlier ones and end up most recent).  One segment is
+        unpickled at a time.
+        """
+        merged: Dict[str, dict] = {}
+        for record in manifest.get("segments", ()):
+            for key, parts in cls._load_segment(log_dir / record["file"]).items():
+                target = merged.setdefault(key, {})
+                for section, entries in parts.items():
+                    target.setdefault(section, []).extend(entries)
+        return merged
+
+    @classmethod
+    def _compact(cls, log_dir: Path, manifest: dict) -> None:
+        """Fold the whole log into one deduplicated segment (newest wins)."""
+        merged = cls._merge_segments(log_dir, manifest)
+        for parts in merged.values():
+            for section, entries in parts.items():
+                seen = set()
+                deduped = []
+                for key, value in reversed(entries):
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    deduped.append((key, value))
+                deduped.reverse()
+                parts[section] = deduped
+        old_files = [record["file"] for record in manifest.get("segments", ())]
+        manifest["segments"] = []
+        cls._append_segment(log_dir, manifest, merged)
+        for name in old_files:
+            (log_dir / name).unlink(missing_ok=True)
+
+    def compact_cache_log(self, directory: PathLike) -> bool:
+        """Explicitly fold the cache log into one segment (False if no log)."""
+        log_dir = self._log_dir(directory)
+        manifest = self._read_manifest(log_dir)
+        if manifest is None or not manifest.get("segments"):
+            return False
+        self._compact(log_dir, manifest)
+        save_json(log_dir / CACHE_LOG_MANIFEST, manifest)
+        return True
+
+    def load_caches(self, directory: PathLike) -> Dict[str, dict]:
+        """Reload persisted snapshots (``{}`` when absent or stale).
+
+        Prefers the append-only cache log; directories written before
+        the log existed fall back to the legacy ``cache_snapshots.pkl``
+        whole-file pickle.  Either way a snapshot written under
+        different model weights (stale hash) or an unreadable file
+        yields ``{}`` — a cold start, never an error: the cache is an
+        optimization, not state the session depends on.
+        """
+        log_dir = self._log_dir(directory)
+        manifest = self._read_manifest(log_dir)
+        if manifest is not None:
+            if manifest.get("model_hash") != self.model_hash():
+                return {}
+            return self._merge_segments(log_dir, manifest)
+        return self._load_legacy_caches(directory)
+
     @staticmethod
     def caches_saved_at(directory: PathLike) -> bool:
-        """True when ``directory`` holds a persisted cache-snapshot file."""
-        return (Path(directory) / CACHE_SNAPSHOTS_FILE).is_file()
+        """True when ``directory`` holds persisted caches (log or legacy)."""
+        directory = Path(directory)
+        return (directory / CACHE_LOG_DIR / CACHE_LOG_MANIFEST).is_file() or (
+            directory / CACHE_SNAPSHOTS_FILE
+        ).is_file()

@@ -24,7 +24,7 @@ working bit-identically; new code should go through
 from __future__ import annotations
 
 import warnings
-from typing import Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.config import NetSynConfig
 from repro.core.backend import SynthesisBackend
@@ -35,7 +35,7 @@ from repro.dsl.equivalence import IOSet
 from repro.dsl.interpreter import Interpreter
 from repro.dsl.program import Program
 from repro.events import ProgressListener
-from repro.execution import ExecutionEngine, LRUCache, ScoreCache
+from repro.execution import ExecutionEngine, LRUCache, TieredScoreCache
 from repro.fitness.base import FitnessFunction
 from repro.fitness.functions import (
     EditDistanceFitness,
@@ -53,6 +53,11 @@ from repro.utils.timing import Stopwatch
 
 logger = get_logger("core.netsyn")
 
+#: evaluation-cache namespaces exported in snapshots: outputs and solution
+#: verdicts are compact; execution traces dominate the bytes and re-derive
+#: in one execution, so they stay behind
+_EXPORT_NAMESPACES = ("outputs", "solutions")
+
 
 class NetSynBackend(SynthesisBackend):
     """GA-based program synthesizer with a learned fitness function."""
@@ -69,9 +74,12 @@ class NetSynBackend(SynthesisBackend):
         # cached value is a deterministic function of (program, io_set),
         # so reuse across jobs cannot change results, only skip work.
         self._shared_executor: Optional[ExecutionEngine] = None
-        self._score_cache: Optional[ScoreCache] = None
+        self._score_cache: Optional[TieredScoreCache] = None
         self._sample_cache: Optional[LRUCache] = None
         self._map_cache: Optional[LRUCache] = None
+        #: the L2 shared mmap score table of a parallel session (None on
+        #: the default single-tier path); see execution/shared_table.py
+        self._score_table: Any = None
 
     # ------------------------------------------------------------------
     @property
@@ -158,6 +166,7 @@ class NetSynBackend(SynthesisBackend):
         self._score_cache = None
         self._sample_cache = None
         self._map_cache = None
+        self._score_table = None
 
     def set_models(
         self,
@@ -182,6 +191,43 @@ class NetSynBackend(SynthesisBackend):
         return self.set_models(trace_artifacts=trace, fp_artifacts=fp)
 
     # ------------------------------------------------------------------
+    def _memo_sections(self) -> List[Tuple[str, Any, Callable[[bool], list]]]:
+        """The live memo caches as uniform ``(section, cache, export)`` rows.
+
+        One description drives every snapshot/delta/version operation —
+        the three caches (predicted scores, FP probability maps, compact
+        evaluation entries) used to be handled by three near-identical
+        loops each.  ``export(dirty_only)`` returns the section's
+        picklable entries; every cache also supports ``clear_dirty()``
+        and ``stats.stores``.
+        """
+        sections: List[Tuple[str, Any, Callable[[bool], list]]] = []
+        if self._score_cache is not None:
+            score_cache = self._score_cache
+            sections.append((
+                "scores",
+                score_cache,
+                lambda dirty: score_cache.dirty_snapshot() if dirty else score_cache.snapshot(),
+            ))
+        if self._map_cache is not None:
+            map_cache = self._map_cache
+            sections.append((
+                "maps",
+                map_cache,
+                lambda dirty: map_cache.dirty_items() if dirty else map_cache.items(),
+            ))
+        if self._shared_executor is not None:
+            eval_cache = self._shared_executor.cache
+            sections.append((
+                "evaluation",
+                eval_cache,
+                lambda dirty: (
+                    eval_cache.dirty_snapshot(_EXPORT_NAMESPACES) if dirty
+                    else eval_cache.snapshot(_EXPORT_NAMESPACES)
+                ),
+            ))
+        return sections
+
     def cache_snapshot(self, dirty_only: bool = False) -> Optional[dict]:
         """Picklable snapshot of this backend's warm memo caches.
 
@@ -196,39 +242,22 @@ class NetSynBackend(SynthesisBackend):
 
         With ``dirty_only`` only entries written since the last
         :meth:`begin_cache_delta` are exported — the per-job merge-back
-        payload of a parallel worker, bounded by the work that job did
-        rather than by the cache capacity.
+        payload of a parallel worker (and the parent's per-run L3 log
+        segment), bounded by the work actually done rather than by the
+        cache capacity.
         """
         data: dict = {}
-        if self._score_cache is not None and len(self._score_cache):
-            scores = (
-                self._score_cache.dirty_snapshot() if dirty_only
-                else self._score_cache.snapshot()
-            )
-            if scores:
-                data["scores"] = scores
-        if self._map_cache is not None and len(self._map_cache):
-            maps = self._map_cache.dirty_items() if dirty_only else self._map_cache.items()
-            if maps:
-                data["maps"] = maps
-        if self._shared_executor is not None and len(self._shared_executor.cache):
-            cache = self._shared_executor.cache
-            entries = (
-                cache.dirty_snapshot(("outputs", "solutions")) if dirty_only
-                else cache.snapshot(("outputs", "solutions"))
-            )
-            if entries:
-                data["evaluation"] = entries
+        for section, cache, export in self._memo_sections():
+            if len(cache):
+                entries = export(dirty_only)
+                if entries:
+                    data[section] = entries
         return data or None
 
     def begin_cache_delta(self) -> None:
         """Open a fresh delta window for :meth:`cache_snapshot(dirty_only=True)`."""
-        if self._score_cache is not None:
-            self._score_cache.clear_dirty()
-        if self._map_cache is not None:
-            self._map_cache.clear_dirty()
-        if self._shared_executor is not None:
-            self._shared_executor.cache.clear_dirty()
+        for _section, cache, _export in self._memo_sections():
+            cache.clear_dirty()
 
     def load_cache_snapshot(self, data: Optional[dict]) -> None:
         """Warm-start the memo caches from :meth:`cache_snapshot` output."""
@@ -237,9 +266,10 @@ class NetSynBackend(SynthesisBackend):
         cfg = self.config
         if "scores" in data and cfg.memoize_scores:
             if self._score_cache is None:
-                self._score_cache = ScoreCache(
+                self._score_cache = TieredScoreCache(
                     capacity=cfg.score_cache_size,
                     namespace=f"score:nnff_{cfg.fitness_kind}",
+                    table=self._score_table,
                 )
             self._score_cache.load_snapshot(data["scores"])
         if "maps" in data:
@@ -256,14 +286,25 @@ class NetSynBackend(SynthesisBackend):
         it moved, so jobs that added nothing (fully warm runs) ship no
         cache delta back to the parent.
         """
-        version = 0
+        return sum(cache.stats.stores for _s, cache, _e in self._memo_sections())
+
+    # ------------------------------------------------------------------
+    @property
+    def score_table(self) -> Any:
+        """The attached L2 shared score table (None on the single-tier path)."""
+        return self._score_table
+
+    def attach_score_table(self, table: Any) -> None:
+        """Attach the session's L2 shared mmap score table.
+
+        From then on score-cache misses fall through to the table and
+        every computed score is published to it, so concurrent workers
+        serve each other mid-job.  Values are deterministic per
+        structural key, so attaching a table never changes results.
+        """
+        self._score_table = table
         if self._score_cache is not None:
-            version += self._score_cache.stats.stores
-        if self._map_cache is not None:
-            version += self._map_cache.stats.stores
-        if self._shared_executor is not None:
-            version += self._shared_executor.cache.stats.stores
-        return version
+            self._score_cache.attach_table(table)
 
     # ------------------------------------------------------------------
     def build_fitness(
@@ -283,8 +324,10 @@ class NetSynBackend(SynthesisBackend):
             if self._trace_artifacts is None:
                 raise RuntimeError("call fit() before synthesize(): the trace model is untrained")
             if cfg.memoize_scores and self._score_cache is None:
-                self._score_cache = ScoreCache(
-                    capacity=cfg.score_cache_size, namespace=f"score:nnff_{kind}"
+                self._score_cache = TieredScoreCache(
+                    capacity=cfg.score_cache_size,
+                    namespace=f"score:nnff_{kind}",
+                    table=self._score_table,
                 )
             if self._sample_cache is None:
                 self._sample_cache = LRUCache(cfg.sample_cache_size)

@@ -125,6 +125,11 @@ class SynthesisJob:
         """
         if self.state is JobState.PENDING:
             self.state = JobState.CANCELLED
+            # also raise the flag: a cancel racing the PENDING->RUNNING
+            # transition (the runner has read PENDING but not yet flipped
+            # the state) must be seen by the runner's post-flip re-check,
+            # or the job would run to completion after reporting success
+            self._cancel_requested = True
             return True
         if self.state is JobState.RUNNING:
             self._cancel_requested = True
@@ -149,8 +154,8 @@ class SynthesisJob:
 
 #: picklable description of one job for the parallel workers:
 #: (job_index, job_id, method, program_length, task, seed, budget_limit,
-#:  progress_every)
-_ServiceJobSpec = Tuple[int, str, str, Optional[int], SynthesisTask, int, int, int]
+#:  progress_every, event_batch_size)
+_ServiceJobSpec = Tuple[int, str, str, Optional[int], SynthesisTask, int, int, int, int]
 
 #: what a worker returns per job:
 #: (status, result, error, n_events_emitted, cache_delta)
@@ -163,6 +168,32 @@ _WORKER_BACKENDS: Dict[Any, Any] = {}
 #: that re-resolves the same directory after a retrain re-attaches
 #: instead of serving memmap views laid out for the old file
 _ATTACHED_STORES: Dict[Tuple[str, str], ArtifactStore] = {}
+
+#: per-process memo of attached L2 shared score tables, keyed by
+#: (path, file identity) — a table recreated for new weights (new inode)
+#: re-attaches instead of being served through a stale mapping
+_ATTACHED_TABLES: Dict[Tuple[str, str], Any] = {}
+
+
+def _attach_score_table(path: Optional[str]) -> Any:
+    """Attach (memoized per process) the shared score table at ``path``."""
+    if not path:
+        return None
+    try:
+        stat = Path(path).stat()
+        identity = f"{stat.st_ino}:{stat.st_size}"
+    except OSError:
+        identity = "missing"
+    key = (path, identity)
+    if key not in _ATTACHED_TABLES:
+        from repro.execution.shared_table import SharedScoreTable
+
+        try:
+            _ATTACHED_TABLES[key] = SharedScoreTable.attach(path)
+        except (OSError, ValueError) as error:  # pragma: no cover - defensive
+            logger.warning("could not attach shared score table %s: %s", path, error)
+            _ATTACHED_TABLES[key] = None
+    return _ATTACHED_TABLES[key]
 
 
 def _segment_token(directory: str) -> str:
@@ -203,6 +234,9 @@ class SharedWorkerPayload:
     config: NetSynConfig
     names: Tuple[str, ...] = ()
     snapshot_file: Optional[str] = None
+    #: path of the L2 shared mmap score table (None = L2 disabled);
+    #: workers attach it once per process and hand it to their backends
+    score_table_file: Optional[str] = None
     #: identity of the packed segment (set by the parent at pack time);
     #: part of the attach-memo key so a re-packed segment re-attaches
     token: str = ""
@@ -219,7 +253,13 @@ class SharedWorkerPayload:
             _ATTACHED_STORES[key] = ArtifactStore.attach_shared(
                 self.directory, names=self.names or None
             )
+        _attach_score_table(self.score_table_file)
         return self
+
+    @property
+    def score_table(self) -> Any:
+        """This process's handle on the L2 table (None when disabled)."""
+        return _attach_score_table(self.score_table_file)
 
     @property
     def store(self) -> ArtifactStore:
@@ -267,10 +307,8 @@ def _unpack_payload(payload: Any) -> Tuple[ArtifactStore, NetSynConfig, Dict[str
     return store, config, {}
 
 
-def _worker_job_listener(
-    job_index: int, job_id: str, queue: Any, flags: Any
-) -> Tuple[ProgressListener, List[int]]:
-    """The listener a worker attaches to its backend for one job.
+class _EventEmitter:
+    """Streams one job's events to the parent's pump (the worker side).
 
     Every event is enriched with the job id and streamed to the parent's
     pump thread through ``queue`` *before* the cancellation flag is
@@ -278,18 +316,66 @@ def _worker_job_listener(
     parent exactly as it is on the serial path.  ``"finished"`` events
     never cancel (mirroring the serial listener: by then the result
     exists and discarding it would waste the run).
+
+    With ``batch_size > 1`` events are coalesced into one
+    ``queue.put_many``-style put of a list (the queue-backpressure
+    fallback: one pickle + one lock round-trip per batch instead of per
+    event).  The buffer is flushed when full, when an event arrives more
+    than ``flush_interval`` after the previous flush (the check runs at
+    emission time — there is no timer thread, so a buffered event can
+    wait out at most one silent generation), before a cancellation is
+    raised, and at job end (:meth:`flush` in the worker's ``finally``) —
+    per-job stream order and completeness are identical to the unbatched
+    path.
     """
-    emitted = [0]
 
-    def listener(event: ProgressEvent) -> None:
-        event.job_id = job_id
-        if queue is not None:
-            queue.put((job_index, event))
-            emitted[0] += 1
-        if flags is not None and flags[job_index] and event.kind != "finished":
-            raise JobCancelled(job_id)
+    def __init__(
+        self,
+        job_index: int,
+        job_id: str,
+        queue: Any,
+        flags: Any,
+        batch_size: int = 1,
+        flush_interval: float = 0.05,
+    ) -> None:
+        self.job_index = job_index
+        self.job_id = job_id
+        self.queue = queue
+        self.flags = flags
+        self.batch_size = max(1, int(batch_size))
+        self.flush_interval = flush_interval
+        self.emitted = 0
+        self._buffer: List[ProgressEvent] = []
+        self._last_flush = time.monotonic()
 
-    return listener, emitted
+    def flush(self) -> None:
+        """Put the coalesced buffer on the queue (no-op when empty)."""
+        if self._buffer:
+            self.queue.put((self.job_index, self._buffer))
+            self._buffer = []
+        self._last_flush = time.monotonic()
+
+    def __call__(self, event: ProgressEvent) -> None:
+        event.job_id = self.job_id
+        if self.queue is not None:
+            self.emitted += 1
+            if self.batch_size <= 1:
+                self.queue.put((self.job_index, event))
+            else:
+                self._buffer.append(event)
+                if (
+                    len(self._buffer) >= self.batch_size
+                    or time.monotonic() - self._last_flush >= self.flush_interval
+                ):
+                    self.flush()
+        if (
+            self.flags is not None
+            and self.flags[self.job_index]
+            and event.kind != "finished"
+        ):
+            if self.queue is not None:
+                self.flush()
+            raise JobCancelled(self.job_id)
 
 
 def _run_service_job(spec: _ServiceJobSpec) -> _ServiceJobOutcome:
@@ -313,10 +399,15 @@ def _run_service_job(spec: _ServiceJobSpec) -> _ServiceJobOutcome:
         worker_payload,
     )
 
-    job_index, job_id, method, length, task, seed, budget_limit, progress_every = spec
+    (
+        job_index, job_id, method, length, task, seed, budget_limit,
+        progress_every, event_batch_size,
+    ) = spec
     queue = worker_event_queue()
     flags = worker_cancel_flags()
-    listener, emitted = _worker_job_listener(job_index, job_id, queue, flags)
+    emitter = _EventEmitter(
+        job_index, job_id, queue, flags, batch_size=event_batch_size
+    )
     backend = None
     version_before = 0
     try:
@@ -324,7 +415,8 @@ def _run_service_job(spec: _ServiceJobSpec) -> _ServiceJobOutcome:
             # cancelled before the worker even started the job: don't pay
             # for a single generation (the flag was raised parent-side)
             return ("cancelled", None, None, 0, None)
-        store, config, snapshots = _unpack_payload(worker_payload())
+        payload = worker_payload()
+        store, config, snapshots = _unpack_payload(payload)
         if _WORKER_BACKENDS.get("__store__") is not store:
             _WORKER_BACKENDS.clear()
             _WORKER_BACKENDS["__store__"] = store
@@ -336,6 +428,12 @@ def _run_service_job(spec: _ServiceJobSpec) -> _ServiceJobOutcome:
             if snapshot and hasattr(backend, "load_cache_snapshot"):
                 backend.load_cache_snapshot(snapshot)
             _WORKER_BACKENDS[key] = backend
+        # the session's L2 shared score table (when enabled): attach it
+        # before solving so mid-job forwards publish to — and read from —
+        # the table every sibling worker shares
+        table = getattr(payload, "score_table", None)
+        if table is not None and hasattr(backend, "attach_score_table"):
+            backend.attach_score_table(table)
         # mirror the session's own backend setup: the configured event
         # cadence (which is also the budget-hook cancellation cadence)
         # must reach worker backends, not just local ones
@@ -347,13 +445,16 @@ def _run_service_job(spec: _ServiceJobSpec) -> _ServiceJobOutcome:
             task,
             budget=SearchBudget(limit=budget_limit),
             seed=seed,
-            listener=listener if (queue is not None or flags is not None) else None,
+            listener=emitter if (queue is not None or flags is not None) else None,
         )
     except JobCancelled:
-        return ("cancelled", None, None, emitted[0], _worker_cache_delta(backend, version_before))
+        return ("cancelled", None, None, emitter.emitted, _worker_cache_delta(backend, version_before))
     except Exception as error:  # noqa: BLE001 - job isolation boundary
-        return ("failed", None, f"{type(error).__name__}: {error}", emitted[0], None)
-    return ("ok", result, None, emitted[0], _worker_cache_delta(backend, version_before))
+        return ("failed", None, f"{type(error).__name__}: {error}", emitter.emitted, None)
+    finally:
+        if queue is not None:
+            emitter.flush()
+    return ("ok", result, None, emitter.emitted, _worker_cache_delta(backend, version_before))
 
 
 def _worker_cache_delta(backend: Any, version_before: int) -> Optional[dict]:
@@ -371,8 +472,15 @@ def _worker_cache_delta(backend: Any, version_before: int) -> Optional[dict]:
     if getattr(backend, "cache_version", lambda: 0)() == version_before:
         return None
     if hasattr(backend, "begin_cache_delta"):
-        return backend.cache_snapshot(dirty_only=True)
-    return backend.cache_snapshot()
+        delta = backend.cache_snapshot(dirty_only=True)
+    else:
+        delta = backend.cache_snapshot()
+    if delta and getattr(backend, "score_table", None) is not None:
+        # L2 is live: every score this job computed is already published
+        # in the shared table, and the parent reads its misses from there
+        # — don't also ship them through the result pickle
+        delta.pop("scores", None)
+    return delta or None
 
 
 class SynthesisSession:
@@ -395,6 +503,11 @@ class SynthesisSession:
         self._next_job_number = 0
         self._shared_dir: Optional[Path] = None
         self._shared_packed = False
+        #: the session's L2 shared mmap score table (created lazily for
+        #: parallel runs when ServiceConfig.shared_score_table is on);
+        #: the parent attaches it too, so score misses after a parallel
+        #: run are read from the table instead of shipped in job deltas
+        self._score_table: Any = None
         # Persisted warm caches: snapshots written by a previous process
         # next to the artifacts, keyed by model hash (stale snapshots are
         # discarded by ArtifactStore.load_caches).  Applied lazily as
@@ -432,6 +545,13 @@ class SynthesisSession:
             snapshot = self._cache_snapshots.get(_snapshot_key(method, program_length))
             if snapshot and hasattr(backend, "load_cache_snapshot"):
                 backend.load_cache_snapshot(snapshot)
+            if self._score_table is not None and hasattr(backend, "attach_score_table"):
+                backend.attach_score_table(self._score_table)
+            if hasattr(backend, "begin_cache_delta"):
+                # persisted-snapshot loads count as writes; open a fresh
+                # dirty window so the next L3 segment holds only entries
+                # this session actually computes (or merges from workers)
+                backend.begin_cache_delta()
             self._backends[key] = backend
         return backend
 
@@ -578,8 +698,35 @@ class SynthesisSession:
             config=self.config,
             names=self.store.names(),
             snapshot_file=snapshot_file,
+            score_table_file=self._score_table_file(directory),
             token=_segment_token(str(directory)),
         )
+
+    def _score_table_file(self, directory: Path) -> Optional[str]:
+        """Create/attach the session's L2 shared score table (or None).
+
+        The table lives next to the packed weight segment, keyed by the
+        store's model hash: :meth:`SharedScoreTable.ensure` recreates a
+        table left behind by a session over different weights, because
+        cached scores are functions of the model.  The parent attaches
+        the same table it hands the workers — after a parallel run its
+        own L1 misses are answered from L2 instead of requiring workers
+        to ship score deltas through the result pickle.
+        """
+        if not self.service_config.shared_score_table:
+            return None
+        if self._score_table is None:
+            from repro.execution.shared_table import SHARED_SCORES_BIN, SharedScoreTable
+
+            self._score_table = SharedScoreTable.ensure(
+                directory / SHARED_SCORES_BIN,
+                n_slots=self.service_config.table_slots,
+                model_hash=self.store.model_hash(),
+            )
+            for backend in self._backends.values():
+                if hasattr(backend, "attach_score_table"):
+                    backend.attach_score_table(self._score_table)
+        return str(self._score_table.path)
 
     # ------------------------------------------------------------------
     def _pump_events(
@@ -600,24 +747,40 @@ class SynthesisSession:
         (posted by :meth:`run` after all expected events arrived) stops
         the pump.
         """
+        from queue import Empty
+
         max_events = self.service_config.max_events_per_job
-        while True:
-            item = queue.get()
-            if item is None:
-                return
-            job_index, event = item
-            job = pending[job_index]
-            job.events.append(event)
-            if len(job.events) > max_events:  # keep the most recent events
-                del job.events[0]
-            received[job_index] += 1
-            for session_listener in self._listeners:
+        stop = False
+        while not stop:
+            items = [queue.get()]
+            # batched drain: grab whatever else already crossed the queue
+            # before fanning out, so a bursty producer costs one wakeup
+            # per burst instead of one per event
+            for _ in range(256):
                 try:
-                    session_listener(event)
-                except JobCancelled:
-                    job.cancel()
-                except Exception:  # noqa: BLE001 - pump must survive listeners
-                    logger.exception("session listener failed on %s", event.kind)
+                    items.append(queue.get_nowait())
+                except Empty:
+                    break
+            for item in items:
+                if item is None:
+                    stop = True
+                    continue
+                job_index, payload = item
+                # a worker with event batching on puts a coalesced list
+                events = payload if isinstance(payload, list) else [payload]
+                job = pending[job_index]
+                job.events.extend(events)
+                if len(job.events) > max_events:  # keep the most recent events
+                    del job.events[: len(job.events) - max_events]
+                received[job_index] += len(events)
+                for event in events:
+                    for session_listener in self._listeners:
+                        try:
+                            session_listener(event)
+                        except JobCancelled:
+                            job.cancel()
+                        except Exception:  # noqa: BLE001 - pump must survive listeners
+                            logger.exception("session listener failed on %s", event.kind)
 
     def _settle_event_stream(
         self,
@@ -690,7 +853,8 @@ class SynthesisSession:
         flags = context.Array("b", len(pending), lock=False)
         specs: List[_ServiceJobSpec] = [
             (index, job.job_id, job.method, job.program_length, job.task, job.seed,
-             job.budget_limit, self.service_config.progress_every)
+             job.budget_limit, self.service_config.progress_every,
+             self.service_config.event_batch_size)
             for index, job in enumerate(pending)
         ]
         received = [0] * len(pending)
@@ -804,29 +968,46 @@ class SynthesisSession:
 
     # ------------------------------------------------------------------
     def save_caches(self, directory=None) -> Optional[Path]:
-        """Persist this session's warm score/evaluation caches to disk.
+        """Append this session's new cache entries to the L3 cache log.
 
-        The snapshots land next to the artifacts (``cache_snapshots.pkl``
-        in ``directory``, defaulting to the configured ``artifact_dir``),
-        keyed by the store's model hash so a later session only loads
-        them when its weights match.  Snapshots loaded from disk but not
-        touched this session are carried forward, so sessions serving
-        different (method, length) pairs against one artifact directory
-        accumulate instead of clobbering each other.  Returns the written
-        path, or None when there is nowhere to write or nothing to save.
+        Each call appends one segment under ``<directory>/cache_log/``
+        (defaulting to the configured ``artifact_dir``) holding only the
+        entries written since the previous persist — the dirty windows
+        of every built backend — instead of rewriting the whole
+        accumulated cache like the old ``cache_snapshots.pkl`` format
+        did.  The log is keyed by the store's model hash; entries loaded
+        from disk by earlier sessions stay in the log untouched, so
+        sessions serving different (method, length) pairs against one
+        artifact directory accumulate naturally.  Returns the appended
+        segment's path, or None when there is nowhere to write or
+        nothing new to save.
         """
         directory = directory or self.service_config.artifact_dir
         if not directory:
             return None
-        snapshots = dict(self._cache_snapshots)
+        deltas: Dict[str, dict] = {}
         for (method, length), backend in self._backends.items():
-            snapshot = getattr(backend, "cache_snapshot", lambda: None)()
-            if snapshot:
-                snapshots[_snapshot_key(method, length)] = snapshot
-        if not snapshots:
+            if not hasattr(backend, "cache_snapshot"):
+                continue
+            if hasattr(backend, "begin_cache_delta"):
+                delta = backend.cache_snapshot(dirty_only=True)
+            else:
+                delta = backend.cache_snapshot()
+            if delta:
+                deltas[_snapshot_key(method, length)] = delta
+        if not deltas:
             return None
-        self._cache_snapshots = snapshots
-        return self.store.save_caches(directory, snapshots)
+        path = self.store.save_caches(
+            directory,
+            deltas,
+            compact_threshold=self.service_config.cache_log_compact_threshold,
+        )
+        # the appended entries are durable now: open fresh dirty windows
+        # so the next segment only carries work done after this point
+        for backend in self._backends.values():
+            if hasattr(backend, "begin_cache_delta"):
+                backend.begin_cache_delta()
+        return path
 
     def _caches_version(self) -> int:
         """Combined cache-write version of every built backend."""
@@ -836,11 +1017,13 @@ class SynthesisSession:
         )
 
     def _persist_caches(self) -> None:
-        """Persist caches after a run when the configuration asks for it.
+        """Append an L3 segment after a run when the configuration asks.
 
         Skipped when no backend wrote a cache entry since the last save —
-        a fully-warm ``run()`` costs no model re-hash and no re-pickle of
-        up to ``score_cache_size`` entries.
+        a fully-warm ``run()`` costs no model re-hash and no pickling at
+        all.  The appended segment holds only this run's dirty entries
+        (see :meth:`save_caches`), so persist cost scales with new work,
+        not with the accumulated cache size.
         """
         if not (self.service_config.persist_caches and self.service_config.artifact_dir):
             return
@@ -848,8 +1031,8 @@ class SynthesisSession:
         if version == self._persisted_version:
             return
         try:
-            if self.save_caches(self.service_config.artifact_dir) is not None:
-                self._persisted_version = version
+            self.save_caches(self.service_config.artifact_dir)
+            self._persisted_version = version
         except OSError as error:  # pragma: no cover - disk-full etc.
             logger.warning("could not persist cache snapshots: %s", error)
 

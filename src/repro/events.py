@@ -66,6 +66,11 @@ class ProgressEvent:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_hit_rate: float = 0.0
+    #: L2 shared-score-table counters (zero unless a parallel session
+    #: enabled ``ServiceConfig.shared_score_table``); ``shared_cross_hits``
+    #: counts hits on entries another worker process computed
+    shared_hits: int = 0
+    shared_cross_hits: int = 0
     #: outcome fields ("finished" events only)
     found: Optional[bool] = None
     found_by: str = ""
@@ -85,6 +90,8 @@ class ProgressEvent:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "shared_hits": self.shared_hits,
+            "shared_cross_hits": self.shared_cross_hits,
             "found": self.found,
             "found_by": self.found_by,
         }
@@ -108,6 +115,15 @@ class EventLog:
 
     def __call__(self, event: ProgressEvent) -> None:
         self.events.append(event)
+
+    def extend(self, events: List[ProgressEvent]) -> None:
+        """Record a coalesced batch in one call, at list-extend cost.
+
+        For consumers that drain event batches directly off a queue
+        (e.g. ``benchmarks/bench_event_throughput.py``); a log attached
+        via ``session.add_listener`` is still called once per event.
+        """
+        self.events.extend(events)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -16,7 +16,8 @@ from repro.execution.cache import (
     program_key,
 )
 from repro.execution.engine import ExecutionEngine, uncached_engine
-from repro.execution.score_cache import LRUCache, ScoreCache
+from repro.execution.score_cache import LRUCache, ScoreCache, TieredScoreCache
+from repro.execution.shared_table import SharedScoreTable
 
 __all__ = [
     "CacheStats",
@@ -24,6 +25,8 @@ __all__ = [
     "ExecutionEngine",
     "LRUCache",
     "ScoreCache",
+    "SharedScoreTable",
+    "TieredScoreCache",
     "freeze_value",
     "io_set_key",
     "program_key",

@@ -21,6 +21,7 @@ bit-identical cached-vs-uncached tests construct their baseline.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional, Tuple
 
@@ -58,6 +59,26 @@ def program_key(program: Program) -> Tuple[int, ...]:
     return program.function_ids
 
 
+def stage_newest(items, bound: int) -> "OrderedDict[Hashable, Any]":
+    """Stream ``(key, value)`` pairs through a ``bound``-sized staging dict.
+
+    The shared engine behind the bounded snapshot-load paths
+    (:meth:`LRUCache.load`, :meth:`EvaluationCache.load_snapshot`):
+    iterating any oldest-first iterable, it keeps only the newest
+    ``bound`` distinct keys — each holding its last value — without ever
+    materializing more than ``bound`` entries, no matter how large the
+    source (e.g. a whole L3 cache log) is.
+    """
+    staged: "OrderedDict[Hashable, Any]" = OrderedDict()
+    for key, value in items:
+        if key in staged:
+            staged.move_to_end(key)
+        elif len(staged) >= bound:
+            staged.popitem(last=False)
+        staged[key] = value
+    return staged
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/eviction counters for one :class:`EvaluationCache`."""
@@ -66,6 +87,12 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     stores: int = 0
+    #: L2 shared-table hits observed through a TieredScoreCache — split
+    #: out from ``hits`` because an L2 hit is *also* an L1 miss (the
+    #: local lookup ran and failed before the shared tier answered)
+    shared_hits: int = 0
+    #: the subset of ``shared_hits`` whose entry another process stored
+    shared_cross_hits: int = 0
     by_namespace: Dict[str, Tuple[int, int]] = field(default_factory=dict)
 
     @property
@@ -93,6 +120,8 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "stores": self.stores,
+            "shared_hits": self.shared_hits,
+            "shared_cross_hits": self.shared_cross_hits,
             "hit_rate": self.hit_rate,
             "by_namespace": {k: {"hits": v[0], "misses": v[1]} for k, v in self.by_namespace.items()},
         }
@@ -200,14 +229,22 @@ class EvaluationCache:
         worker cache deltas merged back into a parent (or a persisted
         snapshot reloaded in a later process) land here, and merging is
         idempotent.  A disabled cache retains nothing and reports 0.
+
+        The input streams through a staging dict bounded by
+        ``max_entries``, so loading a snapshot far larger than the cache
+        (e.g. a long-lived L3 log) keeps only the newest entries without
+        ever materializing the whole snapshot in memory.
         """
-        items = list(items)
-        for (namespace, key), value in items:
+        if not self.enabled:
+            for _ in items:
+                pass
+            return 0
+        staged = stage_newest(items, self.max_entries)
+        for (namespace, key), value in staged.items():
             self.put(namespace, key, value)
-        # count after the fact: an entry inserted early can be evicted by
-        # the oldest-quarter sweep a later insert of the same oversized
-        # snapshot triggers, so counting per put would overreport
-        return sum(1 for full_key in {k for k, _ in items} if full_key in self._store)
+        # count after the fact: staged entries can still be swept out by
+        # the oldest-quarter eviction when the cache already held others
+        return sum(1 for full_key in staged if full_key in self._store)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

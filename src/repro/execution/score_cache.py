@@ -32,7 +32,7 @@ from typing import Any, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dsl.program import Program
-from repro.execution.cache import CacheStats, program_key
+from repro.execution.cache import CacheStats, program_key, stage_newest
 
 _MISSING = object()
 
@@ -128,18 +128,28 @@ class LRUCache:
         """Bulk-insert snapshot entries (e.g. from another process).
 
         Returns the number of entries retained after the bound is applied
-        (a snapshot larger than the capacity keeps only its tail; a
-        disabled cache retains nothing).  Existing entries are
+        (a snapshot larger than the capacity keeps only its newest
+        entries; a disabled cache retains nothing).  Existing entries are
         overwritten — values are deterministic per key, so this can only
         refresh recency.
+
+        The input streams through a staging dict bounded by ``capacity``:
+        loading a snapshot (or a whole L3 cache log) never materializes
+        more than ``capacity`` entries at once, no matter how large the
+        source is.  Any iterable works, oldest entry first.
         """
-        items = list(items)  # a generator must survive both passes below
-        for key, value in items:
+        if not self.enabled:
+            # drain the iterable without storing anything (parity with a
+            # put loop on a disabled cache)
+            for _ in items:
+                pass
+            return 0
+        staged = stage_newest(items, self.capacity)
+        for key, value in staged.items():
             self.put(key, value)
-        # count after the fact: an entry inserted early can be evicted by a
-        # later insert of the same oversized snapshot, so counting per put
-        # would overreport what actually survived
-        return sum(1 for key in {key for key, _ in items} if key in self._store)
+        # count after the fact: staged entries can still evict each other's
+        # survivors when the cache already held other keys
+        return sum(1 for key in staged if key in self._store)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -238,4 +248,122 @@ class ScoreCache:
         return (
             f"ScoreCache(namespace={self.namespace!r}, entries={len(self)}, "
             f"capacity={self.capacity}, hit_rate={self.stats.hit_rate:.3f})"
+        )
+
+
+class TieredScoreCache(ScoreCache):
+    """The score-cache facade over the cache tiers (see ``docs/execution.md``).
+
+    * **L1** — the per-process :class:`ScoreCache` LRU this class *is*.
+    * **L2** — an optional
+      :class:`~repro.execution.shared_table.SharedScoreTable`: a
+      lock-free mmap hash shared by every process of a parallel session.
+      L1 misses fall through to L2, and L2 hits are promoted into L1
+      (which also marks them dirty, so the parent's next L3 segment
+      persists scores first computed by a worker).  Writes go through to
+      both tiers.
+    * **L3** — the append-only persistent cache log; it never appears
+      here directly: segments are loaded into L1 via
+      :meth:`load_snapshot` at session open and appended from L1's dirty
+      window at persist time (``ArtifactStore.save_caches``).
+
+    With no table attached (the default) this class behaves exactly like
+    :class:`ScoreCache`, which is what keeps the defaults-off serial
+    path bit-identical.  Because every value is a deterministic function
+    of its structural key, serving a value from any tier yields the same
+    number — tiering changes where work happens, never what a run
+    computes.
+    """
+
+    def __init__(
+        self, capacity: int = 100_000, namespace: str = "score", table=None
+    ) -> None:
+        super().__init__(capacity=capacity, namespace=namespace)
+        self._table = table
+        #: io_key -> 32-byte digest memo (a run touches a handful of
+        #: specs; hashing the spec once amortizes the dominant key bytes)
+        self._io_tokens: "OrderedDict[Tuple, bytes]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @property
+    def table(self):
+        """The attached L2 shared table (None when running single-tier)."""
+        return self._table
+
+    def attach_table(self, table) -> None:
+        """Attach (or replace) the L2 shared table."""
+        self._table = table
+
+    def _key64(self, key: Tuple[int, ...], io_key: Tuple) -> int:
+        from repro.execution.shared_table import io_token, structural_key64
+
+        token = self._io_tokens.get(io_key)
+        if token is None:
+            token = io_token(io_key)
+            if len(self._io_tokens) >= 32:
+                self._io_tokens.popitem(last=False)
+            self._io_tokens[io_key] = token
+        return structural_key64(key, token)
+
+    def _shared_get(self, key: Tuple[int, ...], io_key: Tuple) -> Optional[float]:
+        """L2 lookup; hits are promoted into L1 and counted on its stats."""
+        if self._table is None:
+            return None
+        entry = self._table.get(self._key64(key, io_key))
+        if entry is None:
+            return None
+        value, cross = entry
+        self._lru.stats.shared_hits += 1
+        if cross:
+            self._lru.stats.shared_cross_hits += 1
+        self._lru.put((key, io_key), value)
+        return value
+
+    def _shared_put(self, key: Tuple[int, ...], io_key: Tuple, value: float) -> None:
+        if self._table is not None:
+            self._table.put(self._key64(key, io_key), value)
+
+    # ------------------------------------------------------------------
+    def get(self, program: Program, io_key: Tuple) -> Optional[float]:
+        key = program_key(program)
+        cached = self._lru.get((key, io_key), _MISSING, namespace=self.namespace)
+        if cached is not _MISSING:
+            return cached
+        return self._shared_get(key, io_key)
+
+    def put(self, program: Program, io_key: Tuple, value: float) -> None:
+        super().put(program, io_key, value)
+        self._shared_put(program_key(program), io_key, float(value))
+
+    def put_key(self, key: Tuple[int, ...], io_key: Tuple, value: float) -> None:
+        super().put_key(key, io_key, value)
+        self._shared_put(key, io_key, float(value))
+
+    def partition(
+        self, programs: Sequence[Program], io_key: Tuple
+    ) -> Tuple[np.ndarray, "OrderedDict[Tuple[int, ...], Tuple[Program, List[int]]]"]:
+        if self._table is None:
+            return super().partition(programs, io_key)
+        scores = np.zeros(len(programs))
+        pending: "OrderedDict[Tuple[int, ...], Tuple[Program, List[int]]]" = OrderedDict()
+        for index, program in enumerate(programs):
+            key = program_key(program)
+            cached = self._lru.get((key, io_key), _MISSING, namespace=self.namespace)
+            if cached is not _MISSING:
+                scores[index] = cached
+            elif key in pending:
+                pending[key][1].append(index)
+            else:
+                shared = self._shared_get(key, io_key)
+                if shared is not None:
+                    scores[index] = shared
+                else:
+                    pending[key] = (program, [index])
+        return scores, pending
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tiers = "L1" if self._table is None else "L1+L2"
+        return (
+            f"TieredScoreCache({tiers}, namespace={self.namespace!r}, "
+            f"entries={len(self)}, capacity={self.capacity})"
         )

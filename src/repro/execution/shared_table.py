@@ -1,0 +1,331 @@
+"""Lock-free shared score table: an open-addressed hash over ``mmap``.
+
+This is the **L2** tier of the score-cache stack (see
+``docs/execution.md``): a fixed-size table of ``key64 -> float64``
+entries living in one flat file next to ``shared_weights.bin``, mapped
+read-write by every process of a parallel session.  One worker's NN
+forward pass becomes visible to all other workers *while the job is
+still running* — the per-job delta merge (L1 -> parent) only lands when
+a job completes, which at paper-scale budgets is far too late.
+
+Design
+------
+The table is an open-addressed hash with bounded linear probing.  Each
+slot is one 64-byte cache line of five used words::
+
+    word 0  seq     0 = empty, odd = write in progress, even > 0 = published
+    word 1  key     64-bit structural key (see :func:`structural_key64`)
+    word 2  value   IEEE-754 bits of the float64 score
+    word 3  check   mix64 digest of (key, value, writer)
+    word 4  writer  pid of the storing process (cross-worker hit counters)
+
+Publication follows the seqlock pattern: a writer claims an empty slot
+by storing an odd ``seq``, fills the payload words, then stores the
+final even ``seq``.  A reader loads ``seq``, the payload, and ``seq``
+again, and accepts the entry only when both loads observed the same
+published (even, non-zero) value *and* the ``check`` word matches the
+payload.  Aligned 8-byte stores are single machine stores under CPython
+on every platform we target, and the checksum makes the (already
+astronomically unlikely) interleaving of two writers racing for one
+slot detectable: a slot whose words come from two different writes
+fails the ``check`` validation and reads as a miss.
+
+Because every value is a deterministic function of its key, the table
+needs no deletes, no updates and no locks: a lost race simply drops one
+cache entry, and a duplicate insert stores the identical bytes.  A full
+probe chain drops the entry too (``stats.drops``) — this is a cache,
+not a store of record.
+
+Keys are 64-bit structural digests, so two distinct ``(program,
+io_set)`` pairs can in principle collide; at the default 2^16 slots and
+paper-scale key counts the birthday probability is ~1e-9 per run, and a
+collision can only substitute one deterministic score for another (it
+cannot corrupt memory or crash a run).  The file is keyed by
+``ArtifactStore.model_hash()`` because cached scores are functions of
+the model weights: :meth:`SharedScoreTable.ensure` silently recreates a
+table whose hash no longer matches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: file name of the packed table, next to ``shared_weights.bin``
+SHARED_SCORES_BIN = "shared_scores.bin"
+
+_MAGIC = 0x4E53_4C32_5343_4F52  # "NSL2SCOR"
+_FORMAT_VERSION = 1
+#: header: magic, version, n_slots, max_probe, 32-byte model hash -> 64B
+_HEADER_BYTES = 64
+#: one slot per cache line: seq, key, value, check, writer, 3 words pad
+_SLOT_WORDS = 8
+_SLOT_BYTES = _SLOT_WORDS * 8
+
+_W_SEQ, _W_KEY, _W_VALUE, _W_CHECK, _W_WRITER = 0, 1, 2, 3, 4
+
+_M64 = (1 << 64) - 1
+
+#: how far a probe chain may run before an insert is dropped / a lookup
+#: gives up; chains this long only appear near pathological load factors
+_MAX_PROBE = 64
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer: a cheap, well-distributed 64-bit mix."""
+    x &= _M64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _M64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _M64
+    x ^= x >> 31
+    return x
+
+
+def _check_word(key: int, value_bits: int, writer: int) -> int:
+    """The slot checksum: detects payload words from two different writes.
+
+    The mixes are chained, not XOR-combined, so the digest is asymmetric
+    in its operands (swapping key and value bits changes it).
+    """
+    return _mix64(key ^ _mix64(value_bits ^ _mix64(writer)))
+
+
+def _float_bits(value: float) -> int:
+    return int(np.float64(value).view(np.uint64))
+
+
+def _bits_float(bits: int) -> float:
+    return float(np.uint64(bits).view(np.float64))
+
+
+def io_token(io_key: Tuple) -> bytes:
+    """A 32-byte digest of a structural IO key (the per-spec half of a key).
+
+    Computed once per specification and reused for every program keyed
+    against it — the IO key dominates the bytes of a structural key.
+    """
+    return hashlib.blake2b(
+        pickle.dumps(io_key, protocol=4), digest_size=32
+    ).digest()
+
+
+def structural_key64(program_key: Tuple[int, ...], token: bytes) -> int:
+    """The table's 64-bit key for ``(program_key, io_key)``.
+
+    Deterministic across processes (structural inputs, fixed pickle
+    protocol, keyed blake2b), which is what lets any worker read any
+    other worker's entries.
+    """
+    digest = hashlib.blake2b(
+        pickle.dumps(program_key, protocol=4), digest_size=8, key=token
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class SharedTableStats:
+    """Process-local counters of one attached table (never in the file)."""
+
+    __slots__ = ("hits", "misses", "cross_hits", "stores", "drops")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.cross_hits = 0
+        self.stores = 0
+        self.drops = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "cross_hits": self.cross_hits,
+            "stores": self.stores,
+            "drops": self.drops,
+        }
+
+
+class SharedScoreTable:
+    """One process's handle on the shared mmap score table.
+
+    Create the file once in the parent (:meth:`create` / :meth:`ensure`),
+    then :meth:`attach` from any number of reader/writer processes.  All
+    operations are wait-free: no locks are taken and no operation blocks
+    on another process.
+    """
+
+    def __init__(self, path: Path, words: np.memmap, n_slots: int) -> None:
+        self.path = Path(path)
+        self._words = words
+        self.n_slots = int(n_slots)
+        self._mask = self.n_slots - 1
+        self._writer = os.getpid() & _M64
+        self.stats = SharedTableStats()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, path, n_slots: int = 1 << 16, model_hash: str = ""
+    ) -> "SharedScoreTable":
+        """Write a fresh zeroed table file and attach it."""
+        if n_slots <= 0 or n_slots & (n_slots - 1):
+            raise ValueError("n_slots must be a positive power of two")
+        path = Path(path)
+        header = np.zeros(_HEADER_BYTES // 8, dtype="<u8")
+        header[0] = _MAGIC
+        header[1] = _FORMAT_VERSION
+        header[2] = n_slots
+        header[3] = _MAX_PROBE
+        digest = bytes.fromhex(model_hash) if model_hash else b"\0" * 32
+        header_bytes = header.tobytes()[:32] + digest.ljust(32, b"\0")[:32]
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as handle:
+            handle.write(header_bytes)
+            handle.truncate(_HEADER_BYTES + n_slots * _SLOT_BYTES)
+        os.replace(tmp, path)
+        return cls.attach(path)
+
+    @classmethod
+    def attach(cls, path) -> "SharedScoreTable":
+        """Map an existing table file read-write (any process, any time)."""
+        path = Path(path)
+        with path.open("rb") as handle:
+            header = np.frombuffer(handle.read(32), dtype="<u8")
+        if len(header) < 4 or int(header[0]) != _MAGIC:
+            raise ValueError(f"{path} is not a shared score table")
+        if int(header[1]) != _FORMAT_VERSION:
+            raise ValueError(
+                f"shared score table {path} has format {int(header[1])}, "
+                f"expected {_FORMAT_VERSION}"
+            )
+        n_slots = int(header[2])
+        words = np.memmap(
+            path,
+            dtype="<u8",
+            mode="r+",
+            offset=_HEADER_BYTES,
+            shape=(n_slots, _SLOT_WORDS),
+        )
+        return cls(path, words, n_slots)
+
+    @classmethod
+    def ensure(
+        cls, path, n_slots: int = 1 << 16, model_hash: str = ""
+    ) -> "SharedScoreTable":
+        """Attach the table at ``path``, recreating it when stale.
+
+        "Stale" means missing, unreadable, differently sized, or written
+        under different model weights — cached scores are functions of
+        the weights, so a table surviving from an earlier session must
+        not serve a retrained model.
+        """
+        path = Path(path)
+        if path.is_file():
+            try:
+                with path.open("rb") as handle:
+                    header = np.frombuffer(handle.read(32), dtype="<u8")
+                if (
+                    len(header) == 4
+                    and int(header[0]) == _MAGIC
+                    and int(header[1]) == _FORMAT_VERSION
+                    and int(header[2]) == n_slots
+                    and cls.stored_model_hash(path) == (model_hash or "")
+                ):
+                    return cls.attach(path)
+            except (OSError, ValueError):
+                pass
+        return cls.create(path, n_slots=n_slots, model_hash=model_hash)
+
+    @staticmethod
+    def stored_model_hash(path) -> str:
+        """The model hash recorded in the table header ("" when unset)."""
+        with Path(path).open("rb") as handle:
+            handle.seek(32)
+            digest = handle.read(32)
+        return "" if digest == b"\0" * 32 else digest.hex()
+
+    # ------------------------------------------------------------------
+    def get(self, key64: int) -> Optional[Tuple[float, bool]]:
+        """Published value for ``key64`` as ``(value, cross_process)``.
+
+        ``cross_process`` is True when the entry was stored by another
+        process — the counter the cross-worker sharing guarantee is
+        asserted on.  Returns None on a miss, an in-progress write, or a
+        torn/invalid slot (all indistinguishable from "not cached yet").
+        """
+        words = self._words
+        index = key64 & self._mask
+        for _ in range(_MAX_PROBE):
+            slot = words[index]
+            seq = int(slot[_W_SEQ])
+            if seq == 0:
+                break  # empty slot terminates the probe chain
+            if not seq & 1:
+                key = int(slot[_W_KEY])
+                if key == key64:
+                    value_bits = int(slot[_W_VALUE])
+                    check = int(slot[_W_CHECK])
+                    writer = int(slot[_W_WRITER])
+                    # seqlock validation: the slot must not have changed
+                    # under us, and the payload words must belong to one
+                    # write (the checksum rejects mixed-writer payloads)
+                    if int(words[index, _W_SEQ]) == seq and check == _check_word(
+                        key, value_bits, writer
+                    ):
+                        self.stats.hits += 1
+                        cross = writer != self._writer
+                        if cross:
+                            self.stats.cross_hits += 1
+                        return _bits_float(value_bits), cross
+                    break  # torn or racing: read as a miss
+            # odd seq (write in progress) or a different key: probe on
+            index = (index + 1) & self._mask
+        self.stats.misses += 1
+        return None
+
+    def put(self, key64: int, value: float) -> bool:
+        """Publish ``value`` under ``key64`` (idempotent; may drop when full).
+
+        Returns True when the entry is (already or newly) published.
+        """
+        words = self._words
+        value_bits = _float_bits(value)
+        index = key64 & self._mask
+        for _ in range(_MAX_PROBE):
+            seq = int(words[index, _W_SEQ])
+            if seq == 0:
+                # claim: odd seq -> payload -> even seq (the seqlock)
+                words[index, _W_SEQ] = 1
+                words[index, _W_KEY] = key64
+                words[index, _W_VALUE] = value_bits
+                words[index, _W_CHECK] = _check_word(key64, value_bits, self._writer)
+                words[index, _W_WRITER] = self._writer
+                words[index, _W_SEQ] = 2
+                self.stats.stores += 1
+                return True
+            if not seq & 1 and int(words[index, _W_KEY]) == key64:
+                return True  # someone already published this key
+            # occupied by another key or mid-write: probe on
+            index = (index + 1) & self._mask
+        self.stats.drops += 1
+        return False
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of published slots (a full scan; for tests/benchmarks)."""
+        seqs = np.asarray(self._words[:, _W_SEQ])
+        return int(np.count_nonzero((seqs != 0) & (seqs % 2 == 0)))
+
+    def __len__(self) -> int:
+        return self.occupancy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedScoreTable(path={str(self.path)!r}, slots={self.n_slots}, "
+            f"hits={self.stats.hits}, cross={self.stats.cross_hits})"
+        )

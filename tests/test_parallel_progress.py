@@ -145,6 +145,154 @@ class TestParallelEventParity:
 
 
 # ---------------------------------------------------------------------------
+# Event batching: coalesced queue puts, identical streams
+# ---------------------------------------------------------------------------
+
+
+class TestEventBatching:
+    def test_batched_stream_equals_serial_event_for_event(self, edit_config, tiny_suite):
+        """event_batch_size > 1 coalesces queue puts without changing
+        stream content, order or completeness."""
+
+        def run(n_workers, batch):
+            session = _edit_session(edit_config, event_batch_size=batch)
+            log = EventLog()
+            session.add_listener(log)
+            jobs = [session.submit(task, budget=250, seed=3) for task in tiny_suite]
+            session.run(n_workers=n_workers)
+            return jobs, log
+
+        serial_jobs, _ = run(1, 1)
+        batched_jobs, batched_log = run(2, 32)
+        for serial, batched in zip(serial_jobs, batched_jobs):
+            assert serial.state == batched.state
+            assert _event_fingerprints(batched) == _event_fingerprints(serial)
+            assert [e.to_dict() for e in batched_log.for_job(batched.job_id)] == (
+                _event_fingerprints(batched)
+            )
+
+    def test_cancellation_still_reaches_batched_workers(self, edit_config, tiny_task, tiny_suite):
+        session = _edit_session(edit_config, event_batch_size=64)
+        doomed = session.submit(_impossible_task(tiny_task), budget=100_000, seed=2)
+
+        def cancel_after_two_generations(event):
+            if (
+                event.job_id == doomed.job_id
+                and event.kind == "generation"
+                and event.generation >= 2
+            ):
+                doomed.cancel()
+
+        session.add_listener(cancel_after_two_generations)
+        normal = session.submit(tiny_suite[0], budget=250, seed=0)
+        session.run(n_workers=2)
+        assert doomed.state is JobState.CANCELLED
+        kinds = [event.kind for event in doomed.events]
+        assert "finished" not in kinds
+        generations = [e.generation for e in doomed.events if e.kind == "generation"]
+        # batching delays parent-side observation (the timer flushes every
+        # 50 ms), so the worker runs a little past the request — but still
+        # nowhere near the submitted budget
+        assert generations and generations[-1] < 2_000
+        assert normal.state in (JobState.SOLVED, JobState.EXHAUSTED)
+
+
+# ---------------------------------------------------------------------------
+# The L2 shared score table across a parallel session
+# ---------------------------------------------------------------------------
+
+
+class TestSharedScoreTableSession:
+    def _session(self, config, store, **service_kwargs):
+        return SynthesisSession(
+            config,
+            store,
+            methods=("netsyn_cf",),
+            service_config=ServiceConfig(
+                shared_score_table=True, table_slots=1 << 12, **service_kwargs
+            ),
+        )
+
+    def test_parallel_with_table_equals_serial(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_suite
+    ):
+        def run(n_workers, table):
+            store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+            session = SynthesisSession(
+                tiny_netsyn_config,
+                store,
+                methods=("netsyn_cf",),
+                service_config=ServiceConfig(
+                    shared_score_table=table, table_slots=1 << 12
+                ),
+            )
+            jobs = [session.submit(task, budget=300, seed=1) for task in list(tiny_suite)[:2]]
+            session.run(n_workers=n_workers)
+            return jobs
+
+        serial = run(1, False)
+        parallel = run(2, True)
+        for a, b in zip(serial, parallel):
+            assert a.state == b.state
+            assert a.result.found == b.result.found
+            assert a.result.candidates_used == b.result.candidates_used
+            assert a.result.found_by == b.result.found_by
+
+    def test_second_run_hits_cross_worker_entries(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_suite
+    ):
+        """Entries published by run 1's workers serve run 2's fresh pool
+        (different pids), so every L2 score hit is a cross-worker hit —
+        and the parent, whose L1 never saw the scores (workers omit them
+        from the merge delta when the table is live), reads its misses
+        from L2 on a serial re-run."""
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        session = self._session(tiny_netsyn_config, store)
+        tasks = list(tiny_suite)[:2]
+        first = [session.submit(task, budget=300, seed=1) for task in tasks]
+        session.run(n_workers=2)
+        assert session._score_table is not None
+        assert session._score_table.occupancy() > 0
+
+        second = [session.submit(task, budget=300, seed=1) for task in tasks]
+        session.run(n_workers=2)
+        for a, b in zip(first, second):
+            assert a.result.candidates_used == b.result.candidates_used
+        cross = sum(
+            event.shared_cross_hits
+            for job in second
+            for event in job.events
+            if event.kind in ("generation", "neighborhood")
+        )
+        assert cross > 0, "run 2's workers should hit run 1's published scores"
+
+        # the parent reads its L1 score misses from L2 instead of paying
+        # NN forwards (the merge path shipped maps/evaluation only)
+        third = [session.submit(task, budget=300, seed=1) for task in tasks]
+        session.run(n_workers=1)
+        for a, b in zip(first, third):
+            assert a.result.candidates_used == b.result.candidates_used
+        backend = session.backend("netsyn_cf")
+        stats = backend.backend._score_cache.stats
+        assert stats.shared_cross_hits > 0
+
+    def test_worker_delta_omits_scores_when_table_live(
+        self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_suite
+    ):
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        session = self._session(tiny_netsyn_config, store)
+        jobs = [session.submit(task, budget=300, seed=1) for task in list(tiny_suite)[:2]]
+        session.run(n_workers=2)
+        assert all(job.done for job in jobs)
+        backend = session.backend("netsyn_cf")
+        # maps/evaluation merged back; scores live in L2 only
+        assert backend.cache_version() > 0
+        inner = backend.backend
+        assert inner._map_cache is not None and len(inner._map_cache) > 0
+        assert inner._score_cache is None or len(inner._score_cache) == 0
+
+
+# ---------------------------------------------------------------------------
 # Ordering: per-job event sub-sequences are well-formed
 # ---------------------------------------------------------------------------
 

@@ -557,3 +557,173 @@ class TestPersistentCacheSnapshots:
         assert a.model_hash() == b.model_hash()
         assert ArtifactStore().model_hash() == ArtifactStore().model_hash()
         assert a.model_hash() != ArtifactStore(fp=tiny_fp_artifacts).model_hash()
+
+
+# ---------------------------------------------------------------------------
+# the L3 tier: the append-only cache log
+# ---------------------------------------------------------------------------
+
+
+def _score_entries(start, count):
+    """Synthetic structural score entries (key, value)."""
+    return [(((start + i,), ("io",)), float(start + i)) for i in range(count)]
+
+
+class TestCacheLog:
+    def _manifest(self, directory):
+        import json
+
+        from repro.core.artifacts import CACHE_LOG_DIR, CACHE_LOG_MANIFEST
+
+        path = directory / CACHE_LOG_DIR / CACHE_LOG_MANIFEST
+        return json.loads(path.read_text()) if path.is_file() else None
+
+    def test_each_save_appends_a_segment(self, tmp_path):
+        store = ArtifactStore()
+        for round_index in range(3):
+            path = store.save_caches(
+                tmp_path,
+                {"m:None": {"scores": _score_entries(round_index * 10, 4)}},
+            )
+            assert path.is_file()
+        manifest = self._manifest(tmp_path)
+        assert len(manifest["segments"]) == 3
+        assert [record["entries"] for record in manifest["segments"]] == [4, 4, 4]
+        merged = store.load_caches(tmp_path)
+        assert len(merged["m:None"]["scores"]) == 12
+        # appended segments concatenate oldest first: a reload's LRU ends
+        # with the newest entries most recent
+        assert merged["m:None"]["scores"][-1] == _score_entries(20, 4)[-1]
+
+    def test_log_is_keyed_by_model_hash(self, tmp_path, tiny_fp_artifacts):
+        empty = ArtifactStore()
+        empty.save_caches(tmp_path, {"m:None": {"scores": _score_entries(0, 2)}})
+        other = ArtifactStore(fp=tiny_fp_artifacts)
+        assert other.load_caches(tmp_path) == {}
+        # appending under the new weights resets the log instead of
+        # serving the stale entries
+        other.save_caches(tmp_path, {"m:None": {"scores": _score_entries(50, 1)}})
+        merged = other.load_caches(tmp_path)
+        assert merged["m:None"]["scores"] == _score_entries(50, 1)
+        assert empty.load_caches(tmp_path) == {}
+
+    def test_compaction_folds_and_dedupes_newest_wins(self, tmp_path):
+        store = ArtifactStore()
+        # the same key re-written every round, plus one fresh key
+        for round_index in range(10):
+            snapshots = {
+                "m:None": {
+                    "scores": [((("hot",), ("io",)), float(round_index))]
+                    + _score_entries(100 + round_index, 1)
+                }
+            }
+            store.save_caches(tmp_path, snapshots, compact_threshold=4)
+        manifest = self._manifest(tmp_path)
+        assert len(manifest["segments"]) <= 5
+        merged = store.load_caches(tmp_path)
+        scores = dict(merged["m:None"]["scores"])
+        # newest value of the re-written key survived compaction
+        assert scores[(("hot",), ("io",))] == 9.0
+        # and every distinct fresh key survived
+        assert all(scores[((100 + i,), ("io",))] == float(100 + i) for i in range(10))
+
+    def test_legacy_pickle_loads_and_migrates(self, tmp_path):
+        import pickle
+
+        from repro.core.artifacts import CACHE_LOG_DIR, CACHE_SNAPSHOTS_FILE
+
+        store = ArtifactStore()
+        legacy = {"m:None": {"scores": _score_entries(0, 3)}}
+        payload = {
+            "format_version": 1,
+            "model_hash": store.model_hash(),
+            "snapshots": legacy,
+        }
+        with (tmp_path / CACHE_SNAPSHOTS_FILE).open("wb") as handle:
+            pickle.dump(payload, handle)
+        # a log-aware reader still loads the pre-log format
+        assert store.load_caches(tmp_path) == legacy
+        assert ArtifactStore.caches_saved_at(tmp_path)
+        # the first append migrates the pickle into the log as segment 1
+        store.save_caches(tmp_path, {"m:None": {"scores": _score_entries(10, 1)}})
+        assert (tmp_path / CACHE_LOG_DIR).is_dir()
+        merged = store.load_caches(tmp_path)
+        assert len(merged["m:None"]["scores"]) == 4
+        assert merged["m:None"]["scores"][:3] == legacy["m:None"]["scores"]
+
+    def test_corrupt_manifest_or_segment_is_a_cold_start(self, tmp_path):
+        from repro.core.artifacts import CACHE_LOG_DIR, CACHE_LOG_MANIFEST
+
+        store = ArtifactStore()
+        store.save_caches(tmp_path, {"m:None": {"scores": _score_entries(0, 2)}})
+        segment = next((tmp_path / CACHE_LOG_DIR).glob("segment-*.pkl"))
+        segment.write_bytes(b"not a pickle")
+        assert store.load_caches(tmp_path) == {}
+        (tmp_path / CACHE_LOG_DIR / CACHE_LOG_MANIFEST).write_text("{broken")
+        assert store.load_caches(tmp_path) == {}
+
+    def test_session_runs_append_segments_not_rewrites(
+        self, tmp_path, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_suite
+    ):
+        from repro.core.artifacts import CACHE_SNAPSHOTS_FILE
+
+        service_config = ServiceConfig(artifact_dir=str(tmp_path))
+        store = ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+        session = SynthesisSession(
+            tiny_netsyn_config, store, methods=("netsyn_cf",), service_config=service_config
+        )
+        session.submit(tiny_suite[0], budget=300, seed=0)
+        session.run()
+        manifest = self._manifest(tmp_path)
+        assert len(manifest["segments"]) == 1
+        assert not (tmp_path / CACHE_SNAPSHOTS_FILE).exists()
+        # new work appends; the existing segment is never rewritten
+        first_segment_bytes = (
+            tmp_path / "cache_log" / manifest["segments"][0]["file"]
+        ).read_bytes()
+        session.submit(tiny_suite[1], budget=300, seed=0)
+        session.run()
+        manifest = self._manifest(tmp_path)
+        assert len(manifest["segments"]) == 2
+        assert (
+            tmp_path / "cache_log" / manifest["segments"][0]["file"]
+        ).read_bytes() == first_segment_bytes
+        # a fully-warm run appends nothing
+        session.submit(tiny_suite[0], budget=300, seed=0)
+        session.run()
+        assert len(self._manifest(tmp_path)["segments"]) == 2
+
+
+class TestBoundedSnapshotLoad:
+    def test_lru_load_keeps_newest_without_materializing(self):
+        """An oversized snapshot streams through a capacity-bounded stage."""
+        capacity = 8
+
+        def entries():
+            for i in range(10_000):
+                yield (("k", i), i)
+
+        cache = LRUCache(capacity=capacity)
+        retained = cache.load(entries())  # a generator: nothing pre-listed
+        assert retained == len(cache) == capacity
+        # the newest entries survived, oldest-first recency inside
+        assert cache.items() == [(("k", i), i) for i in range(9992, 10_000)]
+
+    def test_score_cache_load_snapshot_is_bounded(self):
+        cache = ScoreCache(capacity=4)
+        items = [(((i,), ("io",)), float(i)) for i in range(100)]
+        retained = cache.load_snapshot(iter(items))
+        assert retained == len(cache) == 4
+        assert cache._lru.peek(((99,), ("io",))) == 99.0
+
+    def test_disabled_cache_drains_the_iterable(self):
+        cache = LRUCache(capacity=0)
+        consumed = []
+
+        def entries():
+            for i in range(5):
+                consumed.append(i)
+                yield (i, i)
+
+        assert cache.load(entries()) == 0
+        assert len(cache) == 0 and consumed == list(range(5))

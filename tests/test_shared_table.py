@@ -1,0 +1,321 @@
+"""The L2 tier: the lock-free shared mmap score table.
+
+The contract under test:
+
+* single-process semantics match a plain dict (hypothesis property
+  test: any interleaving of puts and gets over a small key space);
+* publication is atomic to readers: a slot whose sequence word is odd
+  (write in progress) or whose payload fails the checksum (torn /
+  mixed-writer write) reads as a miss, never as a wrong value;
+* concurrent writers and readers across real processes never observe a
+  value that is not the deterministic function of its key (the stress
+  test), and entries written by another process are flagged as
+  cross-process hits;
+* the table is keyed by model hash: :meth:`SharedScoreTable.ensure`
+  reuses a matching table and silently recreates a stale one;
+* the :class:`~repro.execution.score_cache.TieredScoreCache` facade
+  reads through to the table on L1 misses, promotes hits into L1, and
+  writes through on puts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.score_cache import ScoreCache, TieredScoreCache
+from repro.execution.shared_table import (
+    SharedScoreTable,
+    _check_word,
+    _float_bits,
+    io_token,
+    structural_key64,
+)
+
+
+@pytest.fixture
+def table(tmp_path):
+    return SharedScoreTable.create(tmp_path / "scores.bin", n_slots=1 << 10)
+
+
+def _value_for(key64: int) -> float:
+    """The deterministic value the stress processes derive from a key."""
+    return float((key64 % 100_003) / 7.0)
+
+
+# ---------------------------------------------------------------------------
+# single-process semantics
+# ---------------------------------------------------------------------------
+
+
+class TestBasicSemantics:
+    def test_put_get_round_trip(self, table):
+        token = io_token(((1, 2), (3,)))
+        key = structural_key64((4, 5, 6), token)
+        assert table.get(key) is None
+        assert table.put(key, 2.5)
+        assert table.get(key) == (2.5, False)
+        # idempotent re-put of the same key is accepted, not duplicated
+        assert table.put(key, 2.5)
+        assert table.occupancy() == 1
+
+    def test_nan_and_negative_values_survive(self, table):
+        token = io_token((0,))
+        for index, value in enumerate([-1.5, 0.0, float("inf"), float("nan")]):
+            key = structural_key64((index,), token)
+            table.put(key, value)
+            got, _cross = table.get(key)
+            assert got == value or (np.isnan(got) and np.isnan(value))
+
+    def test_key64_is_deterministic_and_structural(self):
+        token_a = io_token(((1, 2), (3, 4)))
+        token_b = io_token(((1, 2), (3, 4)))
+        assert token_a == token_b
+        assert structural_key64((1, 2), token_a) == structural_key64((1, 2), token_b)
+        assert structural_key64((1, 2), token_a) != structural_key64((2, 1), token_a)
+        assert structural_key64((1, 2), token_a) != structural_key64(
+            (1, 2), io_token(((9,), (3, 4)))
+        )
+
+    def test_create_rejects_non_power_of_two(self, tmp_path):
+        with pytest.raises(ValueError):
+            SharedScoreTable.create(tmp_path / "bad.bin", n_slots=1000)
+
+    def test_attach_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "weights.bin"
+        path.write_bytes(b"\x01" * 256)
+        with pytest.raises(ValueError):
+            SharedScoreTable.attach(path)
+
+    def test_full_probe_chain_drops_instead_of_evicting(self, tmp_path):
+        tiny = SharedScoreTable.create(tmp_path / "tiny.bin", n_slots=2)
+        token = io_token((1,))
+        keys = [structural_key64((i,), token) for i in range(8)]
+        for key in keys:
+            tiny.put(key, 1.0)
+        # both slots full: later puts are dropped, earlier entries intact
+        assert tiny.occupancy() == 2
+        assert tiny.stats.drops == len(keys) - 2
+        stored = [key for key in keys if tiny.get(key) is not None]
+        assert len(stored) == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get"]),
+            st.integers(min_value=0, max_value=30),
+        ),
+        max_size=120,
+    )
+)
+def test_table_matches_dict_reference_model(tmp_path_factory, ops):
+    """Any op sequence agrees with a dict (values deterministic per key)."""
+    table = SharedScoreTable.create(
+        tmp_path_factory.mktemp("prop") / "t.bin", n_slots=1 << 7
+    )
+    token = io_token(((1,), (2,)))
+    model: dict = {}
+    for op, raw in ops:
+        key = structural_key64((raw,), token)
+        if op == "put":
+            stored = table.put(key, _value_for(key))
+            if stored:
+                model[key] = _value_for(key)
+        else:
+            got = table.get(key)
+            if key in model:
+                assert got == (model[key], False)
+            else:
+                assert got is None
+    assert table.occupancy() == len(model)
+
+
+# ---------------------------------------------------------------------------
+# torn reads: the sequence word and checksum reject invalid slots
+# ---------------------------------------------------------------------------
+
+
+class TestTornReadDetection:
+    def _slot_of(self, table, key64):
+        """Index of the published slot holding ``key64``."""
+        index = key64 & (table.n_slots - 1)
+        for _ in range(table.n_slots):
+            if int(table._words[index, 1]) == key64:
+                return index
+            index = (index + 1) & (table.n_slots - 1)
+        raise AssertionError("key not found")
+
+    def test_odd_sequence_word_reads_as_miss(self, table):
+        key = structural_key64((7,), io_token((1,)))
+        table.put(key, 3.5)
+        slot = self._slot_of(table, key)
+        table._words[slot, 0] = 3  # simulate a write caught in progress
+        assert table.get(key) is None
+        table._words[slot, 0] = 4  # re-published: readable again
+        assert table.get(key) == (3.5, False)
+
+    def test_mixed_writer_payload_fails_the_checksum(self, table):
+        """A slot assembled from two different writes reads as a miss."""
+        key = structural_key64((8,), io_token((1,)))
+        table.put(key, 3.5)
+        slot = self._slot_of(table, key)
+        # simulate the two-writers-one-slot race: the value word belongs
+        # to a different write than the checksum word
+        table._words[slot, 2] = _float_bits(99.0)
+        assert table.get(key) is None
+
+    def test_checksum_binds_key_value_and_writer(self):
+        assert _check_word(1, 2, 3) != _check_word(1, 2, 4)
+        assert _check_word(1, 2, 3) != _check_word(2, 1, 3)
+
+
+# ---------------------------------------------------------------------------
+# multiprocessing stress: N writers x M readers, no torn values
+# ---------------------------------------------------------------------------
+
+
+def _stress_writer(path: str, seed: int, n_keys: int, barrier) -> None:
+    table = SharedScoreTable.attach(path)
+    token = io_token(((1,), (2,)))
+    rng = np.random.default_rng(seed)
+    barrier.wait()
+    for raw in rng.permutation(n_keys):
+        key = structural_key64((int(raw),), token)
+        table.put(key, _value_for(key))
+
+
+def _stress_reader(path: str, seed: int, n_keys: int, barrier, failures) -> None:
+    table = SharedScoreTable.attach(path)
+    token = io_token(((1,), (2,)))
+    rng = np.random.default_rng(seed)
+    barrier.wait()
+    for raw in rng.integers(0, n_keys, size=n_keys * 4):
+        key = structural_key64((int(raw),), token)
+        entry = table.get(key)
+        # a miss is always legal (the writer may not have gotten there
+        # yet); a hit must carry exactly the deterministic value
+        if entry is not None and entry[0] != _value_for(key):
+            failures.value += 1
+
+
+class TestMultiprocessStress:
+    def test_concurrent_writers_and_readers_never_tear(self, tmp_path):
+        n_keys = 400
+        path = tmp_path / "stress.bin"
+        SharedScoreTable.create(path, n_slots=1 << 11)
+        context = multiprocessing.get_context()
+        barrier = context.Barrier(5)
+        failures = context.Value("i", 0)
+        writers = [
+            context.Process(target=_stress_writer, args=(str(path), seed, n_keys, barrier))
+            for seed in (1, 2)
+        ]
+        readers = [
+            context.Process(
+                target=_stress_reader, args=(str(path), seed, n_keys, barrier, failures)
+            )
+            for seed in (3, 4, 5)
+        ]
+        for process in writers + readers:
+            process.start()
+        for process in writers + readers:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        assert failures.value == 0, f"{failures.value} torn/wrong reads observed"
+        # every key the writers raced over is present exactly once with
+        # the right value (both writers wrote identical bytes per key)
+        table = SharedScoreTable.attach(path)
+        token = io_token(((1,), (2,)))
+        for raw in range(n_keys):
+            key = structural_key64((raw,), token)
+            entry = table.get(key)
+            assert entry is not None and entry[0] == _value_for(key)
+            assert entry[1], "entries written by child processes must flag cross"
+        assert table.stats.cross_hits == n_keys
+
+    def test_ensure_reuses_matching_and_recreates_stale(self, tmp_path):
+        path = tmp_path / "keyed.bin"
+        first = SharedScoreTable.ensure(path, n_slots=1 << 8, model_hash="aa" * 32)
+        key = structural_key64((1,), io_token((1,)))
+        first.put(key, 1.0)
+        again = SharedScoreTable.ensure(path, n_slots=1 << 8, model_hash="aa" * 32)
+        assert again.get(key) is not None, "matching hash must reuse the table"
+        stale = SharedScoreTable.ensure(path, n_slots=1 << 8, model_hash="bb" * 32)
+        assert stale.get(key) is None, "changed hash must recreate the table"
+        resized = SharedScoreTable.ensure(path, n_slots=1 << 9, model_hash="bb" * 32)
+        assert resized.n_slots == 1 << 9
+
+
+# ---------------------------------------------------------------------------
+# the TieredScoreCache facade: L1 miss -> L2 read-through -> promotion
+# ---------------------------------------------------------------------------
+
+
+class TestTieredScoreCache:
+    def _gene(self, seed):
+        from repro.ga.operators import GeneOperators
+
+        return GeneOperators(program_length=3, rng=np.random.default_rng(seed)).random_gene()
+
+    def test_without_table_behaves_like_score_cache(self, tiny_task):
+        from repro.execution.cache import io_set_key
+
+        io_key = io_set_key(tiny_task.io_set)
+        tiered = TieredScoreCache(capacity=8)
+        plain = ScoreCache(capacity=8)
+        gene = self._gene(0)
+        for cache in (tiered, plain):
+            cache.put(gene, io_key, 1.5)
+        assert tiered.get(gene, io_key) == plain.get(gene, io_key) == 1.5
+        assert tiered.table is None
+
+    def test_write_through_and_read_through(self, table, tiny_task):
+        from repro.execution.cache import io_set_key
+
+        io_key = io_set_key(tiny_task.io_set)
+        writer = TieredScoreCache(capacity=8, table=table)
+        gene = self._gene(1)
+        writer.put(gene, io_key, 2.25)
+        assert table.occupancy() == 1  # write-through published to L2
+
+        reader = TieredScoreCache(capacity=8, table=table)
+        assert len(reader) == 0
+        assert reader.get(gene, io_key) == 2.25  # L1 miss, L2 hit
+        assert reader.stats.shared_hits == 1
+        assert len(reader) == 1  # promoted into L1
+        assert reader.get(gene, io_key) == 2.25  # now a pure L1 hit
+        assert reader.stats.shared_hits == 1
+
+    def test_partition_reads_misses_from_the_table(self, table, tiny_task):
+        from repro.execution.cache import io_set_key
+
+        io_key = io_set_key(tiny_task.io_set)
+        writer = TieredScoreCache(capacity=8, table=table)
+        known, unknown = self._gene(2), self._gene(3)
+        writer.put(known, io_key, 4.5)
+
+        reader = TieredScoreCache(capacity=8, table=table)
+        scores, pending = reader.partition([known, unknown, known], io_key)
+        assert scores[0] == scores[2] == 4.5
+        assert list(pending) == [unknown.function_ids]
+        assert reader.stats.shared_hits >= 1
+
+    def test_promotion_marks_dirty_for_the_l3_segment(self, table, tiny_task):
+        from repro.execution.cache import io_set_key
+
+        io_key = io_set_key(tiny_task.io_set)
+        writer = TieredScoreCache(capacity=8, table=table)
+        gene = self._gene(4)
+        writer.put(gene, io_key, 1.0)
+        reader = TieredScoreCache(capacity=8, table=table)
+        reader.clear_dirty()
+        assert reader.get(gene, io_key) == 1.0
+        # the promoted entry is exported by the dirty window, so a parent
+        # session persists scores first computed by another process
+        assert reader.dirty_snapshot()
