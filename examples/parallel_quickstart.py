@@ -27,6 +27,15 @@ serving-path guarantees of the session layer:
 Run with ``python examples/parallel_quickstart.py``; takes well under a
 minute.  ``NETSYN_ARTIFACT_DIR`` and ``NETSYN_EVENT_LOG`` override the
 artifact directory and the event-log path.
+
+**Chaos mode** (the CI ``chaos-smoke`` job): set ``NETSYN_FAULTS`` to a
+``FaultPlan.parse`` spec — e.g.
+``"worker_start:crash:job-1#0;l3_append:truncate::1"`` for one worker
+crash plus one torn L3 segment — and the same script must still complete
+every phase: the crashed job is retried and solves, the warm restart
+skips the torn segment, and the saved event log records the recovery
+(``worker_restarted``, ``job_retry``, ``cache_segment_skipped``).  See
+``docs/robustness.md``.
 """
 
 import json
@@ -41,6 +50,15 @@ from repro.data import make_synthesis_task
 from repro.data.tasks import SynthesisTask
 from repro.dsl.equivalence import IOExample
 from repro.events import EventLog
+from repro.execution.faults import FaultPlan
+
+#: parent-side bookkeeping kinds interleaved into job streams by the
+#: supervisor; the stream-shape assertions below reason about the
+#: worker-emitted progress stream only
+SUPERVISION_KINDS = {
+    "worker_restarted", "job_retry", "job_quarantined",
+    "deadline_exceeded", "degraded_serial", "cache_segment_skipped",
+}
 
 
 def impossible_task(template) -> SynthesisTask:
@@ -61,6 +79,10 @@ def main() -> None:
     config = NetSynConfig.small(fitness_kind="cf", seed=3)
     artifact_dir = os.environ.get("NETSYN_ARTIFACT_DIR", ".netsyn-artifacts-parallel")
     event_log_path = os.environ.get("NETSYN_EVENT_LOG", "parallel_event_log.json")
+    fault_spec = os.environ.get("NETSYN_FAULTS", "")
+    fault_plan = FaultPlan.parse(fault_spec, seed=3) if fault_spec else None
+    if fault_plan is not None:
+        print(f"CHAOS MODE: injecting {fault_spec!r}")
     service = SynthesisService(
         config,
         service_config=ServiceConfig(
@@ -68,6 +90,7 @@ def main() -> None:
             progress_every=500,
             shared_score_table=True,  # the L2 tier
             table_slots=1 << 14,
+            fault_plan=fault_plan,
         ),
     )
 
@@ -106,8 +129,16 @@ def main() -> None:
     doomed_kinds = [event.kind for event in doomed.events]
     assert "generation" in doomed_kinds and "finished" not in doomed_kinds
     for job in jobs:
-        kinds = [event.kind for event in job.events]
+        kinds = [e.kind for e in job.events if e.kind not in SUPERVISION_KINDS]
         assert kinds[0] == "started" and kinds[-1] == "finished"
+    if fault_plan is not None and any(f.site == "worker_start" for f in fault_plan.faults):
+        # the injected crash was recovered: a replacement worker spawned
+        # and the lost job retried — and it still solved (asserted above)
+        assert log.of_kind("worker_restarted"), "chaos: no worker_restarted event"
+        assert log.of_kind("job_retry"), "chaos: no job_retry event"
+        print("  chaos: worker crash recovered "
+              f"({len(log.of_kind('worker_restarted'))} restart(s), "
+              f"{len(log.of_kind('job_retry'))} retry(s))")
 
     print("\nL2: re-running the same requests against the shared score table ...")
     start = time.time()
@@ -128,9 +159,6 @@ def main() -> None:
     assert cross_hits > 0, "expected cross-worker L2 hits on the repeated run"
     print(f"  repeated 3 jobs in {elapsed:.1f}s with {cross_hits} cross-worker L2 hits")
 
-    log.save(event_log_path)
-    print(f"  event log ({len(log)} events) written to {event_log_path}")
-
     # -- the L3 cache log: appended segments, no whole-file rewrite ------
     manifest_path = Path(artifact_dir) / CACHE_LOG_DIR / CACHE_LOG_MANIFEST
     manifest = json.loads(manifest_path.read_text())
@@ -142,6 +170,7 @@ def main() -> None:
     print("\nWarm restart: re-opening the session from persisted artifacts + cache log ...")
     start = time.time()
     warm = service.open_session(methods=("netsyn_cf",))
+    warm.add_listener(log)  # warm startup events (e.g. skipped segments) too
     repeat = warm.submit(tasks[0], budget=3_000, seed=3)
     warm.run()
     elapsed = time.time() - start
@@ -152,7 +181,20 @@ def main() -> None:
     assert backend.cache_version() > 0, "persisted caches were not loaded"
     print(f"  repeated {tasks[0].task_id} in {elapsed:.1f}s, bit-identical to the cold run, "
           "served from the persisted cache log")
-    print("\nOK: streaming, cancellation, L2 sharing and the L3 log all verified.")
+
+    if fault_plan is not None and any(f.site == "l3_append" for f in fault_plan.faults):
+        # the torn segment was skipped on the warm load — and surfaced as
+        # an event — while the repeat above still matched bit-for-bit
+        skipped = log.of_kind("cache_segment_skipped")
+        assert skipped, "chaos: the torn L3 segment was not reported"
+        print(f"  chaos: torn cache segment skipped ({skipped[0].reason})")
+
+    log.save(event_log_path)
+    print(f"  event log ({len(log)} events) written to {event_log_path}")
+    if fault_plan is not None:
+        print("\nOK (chaos): every fault recovered; results unchanged.")
+    else:
+        print("\nOK: streaming, cancellation, L2 sharing and the L3 log all verified.")
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 
 # ---------------------------------------------------------------------------
@@ -350,6 +350,51 @@ class ServiceConfig:
     #: paper-scale budgets cannot grow job.events without bound)
     max_events_per_job: int = 10_000
 
+    # -- fault tolerance (the supervised worker pool) --------------------
+    #: run parallel jobs under the WorkerSupervisor: heartbeats, dead/hung
+    #: worker detection, bounded retries with backoff, quarantine, per-job
+    #: deadlines and serial degradation.  False restores the bare
+    #: multiprocessing.Pool fan-out (no recovery; a killed worker hangs
+    #: the run — the historical behaviour)
+    supervised: bool = True
+    #: how many times a job whose worker crashed is re-run before it is
+    #: quarantined (ends ``failed`` with a FailureReport); a poison job
+    #: therefore runs at most ``1 + max_job_retries`` times
+    max_job_retries: int = 2
+    #: base delay before a crashed job's first retry; doubles per attempt
+    retry_backoff: float = 0.05
+    #: upper bound on the exponential retry backoff
+    retry_backoff_max: float = 2.0
+    #: deterministic jitter fraction added to each backoff (seeded by the
+    #: fault plan / session seed, job index and attempt)
+    retry_jitter: float = 0.25
+    #: seconds between two heartbeat events from an idle-or-busy worker
+    #: (heartbeats travel the event queue; requires stream_worker_events)
+    heartbeat_interval: float = 0.25
+    #: a worker whose last heartbeat is older than this while it runs a
+    #: job is considered hung and is hard-killed (its job is retried)
+    heartbeat_timeout: float = 15.0
+    #: per-job wall-clock deadline in seconds (None = no deadline): an
+    #: overdue job is first cancelled cooperatively via its shared flag,
+    #: then its worker is hard-killed after ``deadline_grace``
+    job_deadline: Optional[float] = None
+    #: seconds between the cooperative deadline cancel and the hard kill
+    deadline_grace: float = 2.0
+    #: total worker crashes after which the pool is abandoned and the
+    #: remaining jobs run serially in the parent (``degraded_serial``)
+    max_pool_crashes: int = 8
+    #: deterministic fault-injection plan (repro.execution.faults.FaultPlan)
+    #: installed in the parent and shipped to every worker; None in
+    #: production — this knob exists so every recovery path above is
+    #: exercised by tests and the CI chaos job
+    fault_plan: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        # validate at construction: a bad knob should fail here with a
+        # clear ValueError, not surface later as an opaque mmap/queue
+        # failure inside a worker process
+        self.validate()
+
     def validate(self) -> None:
         if self.n_workers < 1:
             raise ValueError("n_workers must be at least 1")
@@ -363,6 +408,26 @@ class ServiceConfig:
             raise ValueError("event_batch_size must be at least 1")
         if self.cache_log_compact_threshold < 1:
             raise ValueError("cache_log_compact_threshold must be at least 1")
+        if self.max_job_retries < 0:
+            raise ValueError("max_job_retries must be non-negative")
+        if self.retry_backoff < 0 or self.retry_backoff_max < self.retry_backoff:
+            raise ValueError(
+                "retry_backoff must be non-negative and <= retry_backoff_max"
+            )
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError("retry_jitter must be in [0, 1]")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
+        if self.job_deadline is not None and self.job_deadline <= 0:
+            raise ValueError("job_deadline must be positive (or None)")
+        if self.deadline_grace < 0:
+            raise ValueError("deadline_grace must be non-negative")
+        if self.max_pool_crashes < 1:
+            raise ValueError("max_pool_crashes must be at least 1")
+        if self.fault_plan is not None and hasattr(self.fault_plan, "validate"):
+            self.fault_plan.validate()
 
 
 @dataclass

@@ -18,6 +18,7 @@ from repro.core.service import (
     SynthesisService,
     SynthesisSession,
 )
+from repro.core.supervisor import FailureReport, WorkerSupervisor
 
 __all__ = [
     "SearchBudget",
@@ -37,4 +38,6 @@ __all__ = [
     "SynthesisJob",
     "SynthesisService",
     "SynthesisSession",
+    "FailureReport",
+    "WorkerSupervisor",
 ]

@@ -14,15 +14,25 @@ processes (fit once, serve many).
 from __future__ import annotations
 
 import hashlib
+import itertools
+import json
+import os
 import pickle
+import struct
+import threading
+import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.phase1 import Phase1Artifacts
+from repro.utils.logging import get_logger
 from repro.utils.serialization import PathLike, load_json, save_json
+
+logger = get_logger("core.artifacts")
 
 #: every artifact name Phase 1 can produce, in canonical order
 ARTIFACT_NAMES: Tuple[str, ...] = ("cf", "lcs", "fp", "step", "decoder")
@@ -44,6 +54,16 @@ CACHE_SNAPSHOTS_FILE = "cache_snapshots.pkl"
 CACHE_LOG_DIR = "cache_log"
 CACHE_LOG_MANIFEST = "manifest.json"
 _SEGMENT_FORMAT = "segment-{seq:06d}.pkl"
+
+#: framing of one segment file: magic + little-endian (payload length,
+#: CRC32 of payload) + pickled payload.  A writer killed mid-write leaves
+#: a short or checksum-failing file; the reader skips it instead of
+#: crashing on a truncated pickle
+_SEGMENT_MAGIC = b"NSL3SEG1"
+_SEGMENT_HEADER = struct.Struct("<QI")
+
+#: distinguishes concurrent manifest temp files written by one process
+_MANIFEST_TMP_SEQ = itertools.count()
 
 #: default number of segments the log may grow to before it is folded
 #: into one deduplicated segment (see ``compact_cache_log``)
@@ -319,15 +339,36 @@ class ArtifactStore:
         return manifest if isinstance(manifest, dict) else None
 
     @staticmethod
-    def _load_segment(path: Path) -> Dict[str, dict]:
-        """One segment's snapshots ({} for a missing/corrupt segment)."""
+    def _load_segment(path: Path) -> Tuple[Dict[str, dict], str]:
+        """One segment's snapshots plus a load status.
+
+        Returns ``(snapshots, status)`` with status ``"ok"``,
+        ``"missing"`` (file gone — e.g. a concurrent compaction deleted
+        it after the manifest was read) or ``"corrupt"`` (short file,
+        CRC mismatch, or unreadable pickle — e.g. a writer killed
+        mid-append).  Never raises: a bad segment costs its entries, not
+        the load.  Unframed files are read as legacy pre-CRC segments.
+        """
         try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
-            return {}
-        snapshots = payload.get("snapshots", {}) if isinstance(payload, dict) else {}
-        return snapshots if isinstance(snapshots, dict) else {}
+            data = path.read_bytes()
+        except OSError:
+            return {}, "missing"
+        if data.startswith(_SEGMENT_MAGIC):
+            header_end = len(_SEGMENT_MAGIC) + _SEGMENT_HEADER.size
+            if len(data) < header_end:
+                return {}, "corrupt"
+            length, crc = _SEGMENT_HEADER.unpack(data[len(_SEGMENT_MAGIC):header_end])
+            payload = data[header_end : header_end + length]
+            if len(payload) != length or zlib.crc32(payload) != crc:
+                return {}, "corrupt"
+        else:
+            payload = data  # legacy unframed segment (pre-CRC format)
+        try:
+            loaded = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - corrupt pickles raise many types
+            return {}, "corrupt"
+        snapshots = loaded.get("snapshots", {}) if isinstance(loaded, dict) else {}
+        return (snapshots if isinstance(snapshots, dict) else {}), "ok"
 
     @staticmethod
     def _count_entries(snapshots: Dict[str, dict]) -> int:
@@ -391,40 +432,153 @@ class ArtifactStore:
         path = self._append_segment(log_dir, manifest, snapshots)
         if len(manifest["segments"]) > max(1, int(compact_threshold)):
             self._compact(log_dir, manifest)
-        save_json(log_dir / CACHE_LOG_MANIFEST, manifest)
+        with self._manifest_lock(log_dir):
+            self._reconcile(log_dir, manifest)
+            self._write_manifest(log_dir, manifest)
         return path
+
+    @staticmethod
+    def _write_manifest(log_dir: Path, manifest: dict) -> None:
+        """Atomically swap the manifest into place (write-temp + rename).
+
+        A reader (or a concurrent session losing a manifest race) always
+        observes a complete manifest — either the old one or the new one,
+        never a half-written file.  The temp name is unique per write
+        (PID, thread, counter) so concurrent writers — other sessions or
+        other threads of this one — never trample an in-flight temp.
+        """
+        path = log_dir / CACHE_LOG_MANIFEST
+        tmp = log_dir / (
+            f".manifest.{os.getpid()}.{threading.get_ident()}."
+            f"{next(_MANIFEST_TMP_SEQ)}.tmp"
+        )
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+        os.replace(tmp, path)
+
+    @staticmethod
+    @contextmanager
+    def _manifest_lock(log_dir: Path):
+        """Serialize manifest read-modify-write cycles across writers.
+
+        An advisory ``flock`` on a sidecar lock file closes the window
+        between :meth:`_reconcile` re-reading the on-disk manifest and
+        :meth:`_write_manifest` swapping the merged one in — without it a
+        concurrent writer publishing in that window would have its record
+        silently dropped by the last-writer-wins swap.  ``flock`` is
+        taken on a fresh descriptor per call, so it also serializes
+        threads of one process.  Platforms without ``fcntl`` fall back to
+        the unlocked best-effort behaviour (readers stay safe either
+        way; a lost record is re-adopted by the next reconcile).
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with (log_dir / ".manifest.lock").open("a") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    @classmethod
+    def _reconcile(cls, log_dir: Path, manifest: dict) -> None:
+        """Fold a concurrently-written on-disk manifest into ``manifest``.
+
+        Two sessions appending to one ``cache_log/`` race on the
+        last-writer-wins manifest swap.  Exclusive segment creation
+        already guarantees the loser's segment *file* survives; this
+        re-reads the manifest just before writing and adopts any segment
+        records (same model hash, file still present) the other session
+        published meanwhile, so the race costs neither side its entries.
+        """
+        on_disk = cls._read_manifest(log_dir)
+        if not on_disk or on_disk.get("model_hash") != manifest.get("model_hash"):
+            return
+        known = {record["file"] for record in manifest["segments"]}
+        for record in on_disk.get("segments", ()):
+            name = record.get("file")
+            if name and name not in known and (log_dir / name).is_file():
+                manifest["segments"].append(record)
+        # drop records whose files a concurrent compaction already folded
+        # into its combined segment (adopted above) and unlinked — keeping
+        # them would make every future load skip phantom "missing" files
+        manifest["segments"] = [
+            record
+            for record in manifest["segments"]
+            if (log_dir / record["file"]).is_file()
+        ]
+        # zero-padded names sort in sequence order; keep merge order
+        # (oldest first) deterministic across both racers
+        manifest["segments"].sort(key=lambda record: record["file"])
+        manifest["next_seq"] = max(
+            int(manifest.get("next_seq", 1)), int(on_disk.get("next_seq", 1))
+        )
 
     @classmethod
     def _append_segment(
         cls, log_dir: Path, manifest: dict, snapshots: Dict[str, dict]
     ) -> Path:
-        """Write one segment file and record it in ``manifest`` (in memory)."""
-        seq = int(manifest["next_seq"])
-        manifest["next_seq"] = seq + 1
-        name = _SEGMENT_FORMAT.format(seq=seq)
-        path = log_dir / name
-        tmp = path.with_suffix(".tmp")
-        with tmp.open("wb") as handle:
-            pickle.dump({"format_version": 2, "snapshots": dict(snapshots)}, handle)
-        tmp.replace(path)
+        """Write one CRC-framed segment and record it in ``manifest``.
+
+        The file is created exclusively (``"xb"``): when a concurrent
+        session already claimed this sequence number the append simply
+        takes the next one, so two sessions sharing one ``cache_log/``
+        never overwrite each other's segments.
+        """
+        payload = pickle.dumps({"format_version": 3, "snapshots": dict(snapshots)})
+        framed = (
+            _SEGMENT_MAGIC
+            + _SEGMENT_HEADER.pack(len(payload), zlib.crc32(payload))
+            + payload
+        )
+        while True:
+            seq = int(manifest["next_seq"])
+            manifest["next_seq"] = seq + 1
+            name = _SEGMENT_FORMAT.format(seq=seq)
+            path = log_dir / name
+            try:
+                with path.open("xb") as handle:
+                    handle.write(framed)
+                break
+            except FileExistsError:
+                continue  # a concurrent session claimed this seq: take the next
+        from repro.execution import faults
+
+        faults.fire("l3_append", target=name, path=path)
         manifest["segments"].append(
             {"file": name, "entries": cls._count_entries(snapshots)}
         )
         return path
 
     @classmethod
-    def _merge_segments(cls, log_dir: Path, manifest: dict) -> Dict[str, dict]:
+    def _merge_segments(
+        cls,
+        log_dir: Path,
+        manifest: dict,
+        on_skip: Optional[Callable[[str, str], None]] = None,
+    ) -> Dict[str, dict]:
         """Concatenate every segment's entries, oldest segment first.
 
         Per snapshot key and section the entry lists are concatenated in
         append order, so when a later segment re-writes a key its entry
         comes last — exactly what the LRU load path wants (later entries
         overwrite earlier ones and end up most recent).  One segment is
-        unpickled at a time.
+        unpickled at a time.  Missing or corrupt segments are skipped
+        (reported through ``on_skip(file_name, status)``): they cost
+        their entries, never the load.
         """
         merged: Dict[str, dict] = {}
         for record in manifest.get("segments", ()):
-            for key, parts in cls._load_segment(log_dir / record["file"]).items():
+            snapshots, status = cls._load_segment(log_dir / record["file"])
+            if status != "ok":
+                logger.warning("cache log: skipping %s segment %s", status, record["file"])
+                if on_skip is not None:
+                    on_skip(record["file"], status)
+                continue
+            for key, parts in snapshots.items():
                 target = merged.setdefault(key, {})
                 for section, entries in parts.items():
                     target.setdefault(section, []).extend(entries)
@@ -458,10 +612,16 @@ class ArtifactStore:
         if manifest is None or not manifest.get("segments"):
             return False
         self._compact(log_dir, manifest)
-        save_json(log_dir / CACHE_LOG_MANIFEST, manifest)
+        with self._manifest_lock(log_dir):
+            self._reconcile(log_dir, manifest)
+            self._write_manifest(log_dir, manifest)
         return True
 
-    def load_caches(self, directory: PathLike) -> Dict[str, dict]:
+    def load_caches(
+        self,
+        directory: PathLike,
+        on_skip: Optional[Callable[[str, str], None]] = None,
+    ) -> Dict[str, dict]:
         """Reload persisted snapshots (``{}`` when absent or stale).
 
         Prefers the append-only cache log; directories written before
@@ -470,14 +630,35 @@ class ArtifactStore:
         different model weights (stale hash) or an unreadable file
         yields ``{}`` — a cold start, never an error: the cache is an
         optimization, not state the session depends on.
+
+        Corrupt or missing segments are skipped (never raised); each skip
+        is reported through ``on_skip(file_name, status)``.  A *missing*
+        segment usually means a concurrent session compacted the log
+        between our manifest read and the segment read — the load
+        re-reads the manifest and retries the merge once before
+        accepting the loss.
         """
         log_dir = self._log_dir(directory)
         manifest = self._read_manifest(log_dir)
-        if manifest is not None:
-            if manifest.get("model_hash") != self.model_hash():
-                return {}
-            return self._merge_segments(log_dir, manifest)
-        return self._load_legacy_caches(directory)
+        if manifest is None:
+            return self._load_legacy_caches(directory)
+        if manifest.get("model_hash") != self.model_hash():
+            return {}
+        for attempt in range(2):
+            skipped: List[Tuple[str, str]] = []
+            merged = self._merge_segments(
+                log_dir, manifest, on_skip=lambda name, status: skipped.append((name, status))
+            )
+            if attempt == 0 and any(status == "missing" for _, status in skipped):
+                manifest = self._read_manifest(log_dir)
+                if manifest is None or manifest.get("model_hash") != self.model_hash():
+                    return {}
+                continue
+            if on_skip is not None:
+                for name, status in skipped:
+                    on_skip(name, status)
+            return merged
+        return {}  # pragma: no cover - loop always returns
 
     @staticmethod
     def caches_saved_at(directory: PathLike) -> bool:

@@ -59,8 +59,10 @@ from repro.config import NetSynConfig, ServiceConfig
 from repro.core.artifacts import ArtifactStore
 from repro.core.backend import SynthesisBackend
 from repro.core.result import SynthesisResult
+from repro.core.supervisor import FailureReport, WorkerSupervisor
 from repro.data.tasks import SynthesisTask
 from repro.events import JobCancelled, ProgressEvent, ProgressListener
+from repro.execution import faults
 from repro.ga.budget import SearchBudget
 from repro.utils.logging import get_logger
 
@@ -100,6 +102,10 @@ class SynthesisJob:
     state: JobState = JobState.PENDING
     result: Optional[SynthesisResult] = None
     error: Optional[str] = None
+    #: structured post-mortem when the supervisor gave up on the job
+    #: (worker crashes exhausted retries, deadline exceeded); plain
+    #: errors raised inside the job only set ``error``
+    failure: Optional[FailureReport] = None
     events: List[ProgressEvent] = field(default_factory=list)
     _cancel_requested: bool = field(default=False, repr=False)
     #: set by the session while this job runs remotely: raises the job's
@@ -147,6 +153,7 @@ class SynthesisJob:
             "budget_limit": self.budget_limit,
             "state": self.state.value,
             "error": self.error,
+            "failure": self.failure.to_dict() if self.failure is not None else None,
             "result": self.result.to_dict() if self.result is not None else None,
             "n_events": len(self.events),
         }
@@ -189,8 +196,11 @@ def _attach_score_table(path: Optional[str]) -> Any:
         from repro.execution.shared_table import SharedScoreTable
 
         try:
+            faults.fire("table_attach", target=path, path=path)
             _ATTACHED_TABLES[key] = SharedScoreTable.attach(path)
-        except (OSError, ValueError) as error:  # pragma: no cover - defensive
+        except (OSError, ValueError) as error:
+            # missing/short/torn table file: degrade this process to
+            # L1-only caching instead of failing its jobs
             logger.warning("could not attach shared score table %s: %s", path, error)
             _ATTACHED_TABLES[key] = None
     return _ATTACHED_TABLES[key]
@@ -247,12 +257,29 @@ class SharedWorkerPayload:
     )
 
     def resolve_in_worker(self) -> "SharedWorkerPayload":
-        """Attach the shared store (memoized per process) and return self."""
+        """Attach the shared store (memoized per process) and return self.
+
+        A missing or torn shared-weight segment (e.g. deleted between
+        pack and worker start, or truncated by a crashed packer) does not
+        fail the worker: it falls back to loading the per-artifact
+        ``.npz`` copies the parent saved next to the segment — slower,
+        private pages, same numbers.
+        """
         key = (self.directory, self.token)
         if key not in _ATTACHED_STORES:
-            _ATTACHED_STORES[key] = ArtifactStore.attach_shared(
-                self.directory, names=self.names or None
-            )
+            try:
+                _ATTACHED_STORES[key] = ArtifactStore.attach_shared(
+                    self.directory, names=self.names or None
+                )
+            except (OSError, ValueError, KeyError) as error:
+                logger.warning(
+                    "shared-weight attach failed in worker (%s); "
+                    "falling back to private npz copies from %s",
+                    error, self.directory,
+                )
+                _ATTACHED_STORES[key] = ArtifactStore.load(
+                    self.directory, names=self.names or None
+                )
         _attach_score_table(self.score_table_file)
         return self
 
@@ -348,19 +375,41 @@ class _EventEmitter:
         self._buffer: List[ProgressEvent] = []
         self._last_flush = time.monotonic()
 
+    def _put(self, item: Any, count: int) -> None:
+        """One guarded queue put; a broken event pipe disables streaming.
+
+        ``emitted`` counts only events that actually reached the queue —
+        it is the exact number the parent's settle phase waits for, so a
+        mid-job streaming failure must not inflate it.  The job itself
+        keeps running: losing observability is strictly better than
+        losing the result.
+        """
+        if self.queue is None:
+            return
+        try:
+            faults.fire("event_put", target=self.job_id)
+            self.queue.put(item)
+            self.emitted += count
+        except OSError as error:
+            logger.warning(
+                "event stream broken for %s (%s); job continues unstreamed",
+                self.job_id, error,
+            )
+            self.queue = None
+            self._buffer = []
+
     def flush(self) -> None:
         """Put the coalesced buffer on the queue (no-op when empty)."""
         if self._buffer:
-            self.queue.put((self.job_index, self._buffer))
-            self._buffer = []
+            buffer, self._buffer = self._buffer, []
+            self._put((self.job_index, buffer), len(buffer))
         self._last_flush = time.monotonic()
 
     def __call__(self, event: ProgressEvent) -> None:
         event.job_id = self.job_id
         if self.queue is not None:
-            self.emitted += 1
             if self.batch_size <= 1:
-                self.queue.put((self.job_index, event))
+                self._put((self.job_index, event), 1)
             else:
                 self._buffer.append(event)
                 if (
@@ -517,8 +566,15 @@ class SynthesisSession:
         #: never persisted this session), so fully-warm runs skip the
         #: model re-hash and full cache re-pickle entirely
         self._persisted_version: Optional[int] = None
+        #: recovery events observed before any listener could attach
+        #: (e.g. corrupt L3 segments skipped while loading warm caches);
+        #: flushed to session listeners at the next :meth:`run`
+        self.startup_events: List[ProgressEvent] = []
         if self.service_config.persist_caches and self.service_config.artifact_dir:
-            self._cache_snapshots = self.store.load_caches(self.service_config.artifact_dir)
+            self._cache_snapshots = self.store.load_caches(
+                self.service_config.artifact_dir,
+                on_skip=self._record_skipped_segment,
+            )
             if self._cache_snapshots:
                 logger.info(
                     "warm caches: loaded %d persisted snapshot(s) from %s",
@@ -527,6 +583,13 @@ class SynthesisSession:
                 )
 
     # ------------------------------------------------------------------
+    def _record_skipped_segment(self, name: str, reason: str) -> None:
+        """Remember a corrupt/truncated L3 segment skipped during load."""
+        logger.warning("cache log: skipped segment %s (%s)", name, reason)
+        self.startup_events.append(
+            ProgressEvent(kind="cache_segment_skipped", reason=f"{name}: {reason}")
+        )
+
     def add_listener(self, listener: ProgressListener) -> None:
         """Attach a session-wide progress-event consumer."""
         self._listeners.append(listener)
@@ -734,6 +797,7 @@ class SynthesisSession:
         queue: Any,
         pending: Sequence[SynthesisJob],
         received: List[int],
+        on_control: Optional[Callable[[ProgressEvent], None]] = None,
     ) -> None:
         """Drain the workers' event queue live (runs on a daemon thread).
 
@@ -746,13 +810,24 @@ class SynthesisSession:
         draining or the run would lose events.  A ``None`` sentinel
         (posted by :meth:`run` after all expected events arrived) stops
         the pump.
+
+        Items with a negative job index are **control events** (worker
+        heartbeats under supervised execution): they are routed to
+        ``on_control`` and never recorded on a job or fanned to listeners
+        — per-job streams stay identical to serial runs.  The blocking
+        get runs under a short timeout so the pump stays responsive (and
+        can never be parked forever on a queue whose writers all died);
+        termination is still sentinel-driven.
         """
         from queue import Empty
 
         max_events = self.service_config.max_events_per_job
         stop = False
         while not stop:
-            items = [queue.get()]
+            try:
+                items = [queue.get(timeout=0.25)]
+            except Empty:
+                continue
             # batched drain: grab whatever else already crossed the queue
             # before fanning out, so a bursty producer costs one wakeup
             # per burst instead of one per event
@@ -766,6 +841,13 @@ class SynthesisSession:
                     stop = True
                     continue
                 job_index, payload = item
+                if job_index < 0:
+                    if on_control is not None and isinstance(payload, ProgressEvent):
+                        try:
+                            on_control(payload)
+                        except Exception:  # noqa: BLE001 - pump must survive
+                            logger.exception("control-event handler failed")
+                    continue
                 # a worker with event batching on puts a coalesced list
                 events = payload if isinstance(payload, list) else [payload]
                 job = pending[job_index]
@@ -831,6 +913,11 @@ class SynthesisSession:
         configured ``artifact_dir`` the merged caches are persisted for
         later sessions (``ServiceConfig.persist_caches``).
         """
+        if self.service_config.fault_plan is not None:
+            # the parent's own instrumented sites (l3_append, table_attach)
+            # must observe the plan on serial runs too
+            faults.install(self.service_config.fault_plan, role="parent")
+        self._flush_startup_events()
         pending = [j for j in (jobs if jobs is not None else self.jobs) if j.state is JobState.PENDING]
         n_workers = self.service_config.n_workers if n_workers is None else int(n_workers)
         if n_workers > 1 and len(pending) > 1:
@@ -841,13 +928,35 @@ class SynthesisSession:
         self._persist_caches()
         return pending
 
-    def _run_parallel(self, pending: List[SynthesisJob], n_workers: int) -> None:
-        """Fan ``pending`` out over worker processes with live streaming."""
-        from repro.evaluation.runner import ParallelTaskRunner
+    def _flush_startup_events(self) -> None:
+        """Deliver pre-listener recovery events (once) to session listeners."""
+        if not self.startup_events:
+            return
+        events, self.startup_events = self.startup_events, []
+        for event in events:
+            for session_listener in self._listeners:
+                try:
+                    session_listener(event)
+                except Exception:  # noqa: BLE001 - startup flush must not fail the run
+                    logger.exception("session listener failed on %s", event.kind)
 
-        context = multiprocessing.get_context()
-        stream = self.service_config.stream_worker_events
-        queue = context.Queue() if stream else None
+    def _run_parallel(self, pending: List[SynthesisJob], n_workers: int) -> None:
+        """Fan ``pending`` out over worker processes with live streaming.
+
+        ``ServiceConfig.supervised`` (the default) routes through the
+        fault-tolerant :class:`~repro.core.supervisor.WorkerSupervisor`;
+        disabling it keeps the original unsupervised pool map, where a
+        worker crash loses the job (and historically hung the run).
+        """
+        if self.service_config.supervised:
+            self._run_supervised(pending, n_workers)
+        else:
+            self._run_pool(pending, n_workers)
+
+    def _prepare_fan_out(
+        self, pending: List[SynthesisJob], context: Any
+    ) -> Tuple[Any, List[_ServiceJobSpec], List[int]]:
+        """Shared fan-out setup: cancel flags, specs, state transitions."""
         # one shared byte per job: the parent raises it, workers poll it
         # at every emitted event (no lock needed for a monotonic flag)
         flags = context.Array("b", len(pending), lock=False)
@@ -869,6 +978,143 @@ class SynthesisSession:
             job._remote_cancel = _FlagRaiser(flags, index)
             if job._cancel_requested:  # cancelled between submit and fan-out
                 flags[index] = 1
+        return flags, specs, received
+
+    def _supervision_listener(
+        self, pending: List[SynthesisJob]
+    ) -> Callable[[ProgressEvent], None]:
+        """Consumer for the supervisor's recovery events.
+
+        Job-scoped events (retries, quarantines, deadlines) are recorded
+        on the job like any of its own events; all supervision events fan
+        out to session listeners.  A listener raising
+        :class:`JobCancelled` on a supervision event cancels that job.
+        """
+        by_id = {job.job_id: job for job in pending}
+
+        def listener(event: ProgressEvent) -> None:
+            job = by_id.get(event.job_id)
+            if job is not None:
+                job.events.append(event)
+            for session_listener in self._listeners:
+                try:
+                    session_listener(event)
+                except JobCancelled:
+                    if job is not None:
+                        job.cancel()
+                except Exception:  # noqa: BLE001 - supervision must survive listeners
+                    logger.exception("session listener failed on %s", event.kind)
+
+        return listener
+
+    def _run_supervised(self, pending: List[SynthesisJob], n_workers: int) -> None:
+        """Supervised fan-out: retries, heartbeats, deadlines, degradation."""
+        context = multiprocessing.get_context()
+        queue = context.Queue() if self.service_config.stream_worker_events else None
+        flags, specs, received = self._prepare_fan_out(pending, context)
+        supervisor = WorkerSupervisor(
+            n_workers=n_workers,
+            config=self.service_config,
+            seed=self.config.seed,
+            payload=self._worker_payload(),
+            event_queue=queue,
+            cancel_flags=flags,
+            emit=self._supervision_listener(pending),
+            context=context,
+        )
+        pump = None
+        if queue is not None:
+            pump = threading.Thread(
+                target=self._pump_events,
+                args=(queue, pending, received),
+                kwargs={"on_control": supervisor.observe_control},
+                name="netsyn-event-pump",
+                daemon=True,
+            )
+            pump.start()
+        outcomes = None
+        try:
+            outcomes = supervisor.run(specs)
+        finally:
+            for job in pending:
+                job._remote_cancel = None
+            if pump is not None:
+                if outcomes is not None:
+                    # a job's final attempt flushed its events before its
+                    # outcome message, so n_events is a guaranteed floor;
+                    # earlier crashed attempts may have streamed more
+                    # (received can exceed it) and hard-killed workers may
+                    # have streamed fewer (their outcome reports 0)
+                    expected = [
+                        received[index]
+                        if outcome.status == "pending_serial"
+                        else max(outcome.n_events, received[index])
+                        for index, outcome in enumerate(outcomes)
+                    ]
+                else:
+                    expected = [0] * len(pending)
+                self._settle_event_stream(queue, pump, received, expected)
+        serial_rerun: List[SynthesisJob] = []
+        for job, outcome in zip(pending, outcomes):
+            if outcome.cache_delta and self.service_config.merge_worker_caches:
+                backend = self.backend(job.method, job.program_length)
+                if hasattr(backend, "load_cache_snapshot"):
+                    backend.load_cache_snapshot(outcome.cache_delta)
+            if outcome.status == "pending_serial":
+                # the pool degraded before this job finished: hand it to
+                # the serial path below (same backend, same seed — the
+                # result is what the worker would have produced)
+                job.state = JobState.PENDING
+                serial_rerun.append(job)
+            elif outcome.status == "cancelled":
+                job.state = JobState.CANCELLED
+                logger.info("job %s cancelled in worker", job.job_id)
+            elif outcome.status != "ok" or outcome.result is None:
+                job.state = JobState.FAILED
+                job.error = outcome.error
+                job.failure = outcome.failure
+                logger.warning("job %s failed: %s", job.job_id, job.error)
+                if outcome.failure is not None:
+                    # the worker died (or was killed) before it could
+                    # flush a terminal event: synthesize one so the job's
+                    # stream still settles with an observable ending
+                    self._supervision_listener([job])(
+                        ProgressEvent(
+                            kind="failed",
+                            method=job.method,
+                            task_id=job.task.task_id,
+                            job_id=job.job_id,
+                            attempt=outcome.attempts,
+                            reason=outcome.failure.kind,
+                        )
+                    )
+            else:
+                self._finish(job, outcome.result)
+                if queue is None:
+                    # streaming disabled: synthesize the terminal event so
+                    # job.events still records the outcome
+                    listener = self._job_listener(job)
+                    listener(
+                        ProgressEvent(
+                            kind="finished",
+                            method=job.method,
+                            task_id=job.task.task_id,
+                            candidates_used=outcome.result.candidates_used,
+                            budget_limit=outcome.result.budget_limit,
+                            found=outcome.result.found,
+                            found_by=outcome.result.found_by,
+                        )
+                    )
+        for job in serial_rerun:
+            self.run_job(job)
+
+    def _run_pool(self, pending: List[SynthesisJob], n_workers: int) -> None:
+        """Unsupervised fan-out over the plain multiprocessing pool."""
+        from repro.evaluation.runner import ParallelTaskRunner
+
+        context = multiprocessing.get_context()
+        queue = context.Queue() if self.service_config.stream_worker_events else None
+        flags, specs, received = self._prepare_fan_out(pending, context)
         pump = None
         if queue is not None:
             pump = threading.Thread(

@@ -19,6 +19,20 @@ stream of events while it searches:
 ``"finished"``
     Once, with the outcome (``found`` / ``found_by``).
 
+Supervised parallel runs additionally emit **supervision events** (never
+part of a job's per-generation stream, so serial/parallel stream parity
+is unaffected): ``"heartbeat"`` (one per worker per heartbeat interval),
+``"worker_restarted"`` (a dead or hung worker was replaced),
+``"job_retry"`` (a crashed job was requeued with backoff),
+``"job_quarantined"`` (a job exhausted its retries and ends ``failed``),
+``"deadline_exceeded"`` (a job hit its wall-clock deadline),
+``"degraded_serial"`` (the pool crashed too often and the run fell back
+to serial execution), ``"cache_segment_skipped"`` (a corrupt/truncated
+L3 cache-log segment was skipped on load), and a synthesized ``"failed"``
+terminal event that settles the stream of a job whose worker died before
+flushing its own.  Supervision events carry ``worker_id`` / ``attempt`` /
+``reason`` where applicable.
+
 Listeners observe; they never steer the search — with one deliberate
 exception: a listener may raise :class:`JobCancelled` to abandon the run,
 which is how :class:`~repro.core.service.SynthesisJob` implements
@@ -74,6 +88,11 @@ class ProgressEvent:
     #: outcome fields ("finished" events only)
     found: Optional[bool] = None
     found_by: str = ""
+    #: supervision fields (heartbeat / restart / retry / quarantine /
+    #: deadline / degradation events only; -1 / 0 / "" otherwise)
+    worker_id: int = -1
+    attempt: int = 0
+    reason: str = ""
 
     def to_dict(self) -> dict:
         """JSON-friendly form (for logs and persisted event streams)."""
@@ -94,6 +113,9 @@ class ProgressEvent:
             "shared_cross_hits": self.shared_cross_hits,
             "found": self.found,
             "found_by": self.found_by,
+            "worker_id": self.worker_id,
+            "attempt": self.attempt,
+            "reason": self.reason,
         }
 
     @classmethod
@@ -112,6 +134,9 @@ class EventLog:
 
     def __init__(self) -> None:
         self.events: List[ProgressEvent] = []
+        #: set by :meth:`load` when the persisted file was cut mid-record
+        #: and only the valid prefix could be recovered
+        self.truncated: bool = False
 
     def __call__(self, event: ProgressEvent) -> None:
         self.events.append(event)
@@ -158,9 +183,46 @@ class EventLog:
 
     @classmethod
     def load(cls, path) -> "EventLog":
-        """Reload a log persisted by :meth:`save`."""
+        """Reload a log persisted by :meth:`save`.
+
+        Tolerates a truncated or tail-corrupted file (e.g. the writing
+        process was killed mid-:meth:`save`): the valid prefix of event
+        records is recovered and the returned log's ``truncated`` flag is
+        set, instead of the whole load raising.  A file whose very first
+        record is unreadable loads as an empty, truncated log.
+        """
         log = cls()
         with open(path, "r", encoding="utf-8") as handle:
-            for data in json.load(handle):
+            text = handle.read()
+        try:
+            records = json.loads(text)
+            if not isinstance(records, list):
+                records, log.truncated = [], True
+        except ValueError:
+            records, log.truncated = cls._recover_prefix(text), True
+        for data in records:
+            if isinstance(data, dict):
                 log.events.append(ProgressEvent.from_dict(data))
         return log
+
+    @staticmethod
+    def _recover_prefix(text: str) -> List[dict]:
+        """Every complete event record before the corruption point."""
+        decoder = json.JSONDecoder()
+        index = text.find("[")
+        if index < 0:
+            return []
+        index += 1
+        records: List[dict] = []
+        length = len(text)
+        while index < length:
+            while index < length and text[index] in " \t\r\n,":
+                index += 1
+            if index >= length or text[index] == "]":
+                break
+            try:
+                record, index = decoder.raw_decode(text, index)
+            except ValueError:
+                break
+            records.append(record)
+        return records

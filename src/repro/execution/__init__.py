@@ -16,6 +16,7 @@ from repro.execution.cache import (
     program_key,
 )
 from repro.execution.engine import ExecutionEngine, uncached_engine
+from repro.execution.faults import Fault, FaultInjected, FaultPlan
 from repro.execution.score_cache import LRUCache, ScoreCache, TieredScoreCache
 from repro.execution.shared_table import SharedScoreTable
 
@@ -23,6 +24,9 @@ __all__ = [
     "CacheStats",
     "EvaluationCache",
     "ExecutionEngine",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
     "LRUCache",
     "ScoreCache",
     "SharedScoreTable",

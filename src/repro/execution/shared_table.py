@@ -204,6 +204,20 @@ class SharedScoreTable:
                 f"expected {_FORMAT_VERSION}"
             )
         n_slots = int(header[2])
+        if n_slots <= 0 or n_slots & (n_slots - 1):
+            raise ValueError(
+                f"shared score table {path} has a torn header (n_slots={n_slots})"
+            )
+        expected_size = _HEADER_BYTES + n_slots * _SLOT_BYTES
+        actual_size = path.stat().st_size
+        if actual_size < expected_size:
+            # e.g. the creating process was killed between the header
+            # write and the truncate-to-size: mapping would either fail
+            # or fault on first slot access, so reject it up front
+            raise ValueError(
+                f"shared score table {path} is truncated "
+                f"({actual_size} bytes, expected {expected_size})"
+            )
         words = np.memmap(
             path,
             dtype="<u8",
@@ -219,10 +233,12 @@ class SharedScoreTable:
     ) -> "SharedScoreTable":
         """Attach the table at ``path``, recreating it when stale.
 
-        "Stale" means missing, unreadable, differently sized, or written
-        under different model weights — cached scores are functions of
-        the weights, so a table surviving from an earlier session must
-        not serve a retrained model.
+        "Stale" means missing, unreadable, torn (bad magic/version or a
+        file shorter than its header claims — e.g. the creator was
+        killed mid-create), differently sized, or written under
+        different model weights — cached scores are functions of the
+        weights, so a table surviving from an earlier session must not
+        serve a retrained model.
         """
         path = Path(path)
         if path.is_file():
@@ -234,6 +250,7 @@ class SharedScoreTable:
                     and int(header[0]) == _MAGIC
                     and int(header[1]) == _FORMAT_VERSION
                     and int(header[2]) == n_slots
+                    and path.stat().st_size >= _HEADER_BYTES + n_slots * _SLOT_BYTES
                     and cls.stored_model_hash(path) == (model_hash or "")
                 ):
                     return cls.attach(path)
