@@ -77,6 +77,13 @@ class NetSynSynthesizer(Synthesizer):
     def attach_score_table(self, table) -> None:
         self.backend.attach_score_table(table)
 
+    @property
+    def remote_tier(self):
+        return self.backend.remote_tier
+
+    def attach_remote_tier(self, remote) -> None:
+        self.backend.attach_remote_tier(remote)
+
     # ------------------------------------------------------------------
     def synthesize(
         self,

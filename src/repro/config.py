@@ -389,6 +389,13 @@ class ServiceConfig:
     #: exercised by tests and the CI chaos job
     fault_plan: Optional[Any] = None
 
+    # -- serving (the network layer, repro.serving) ----------------------
+    #: ``host:port`` of a synthesis server whose score pool this session
+    #: consults as its L4 cache tier (misses that fall through L1-L3 ask
+    #: the server; computed scores are pushed back asynchronously).
+    #: None — the default — keeps the session fully local.
+    remote_score_cache: Optional[str] = None
+
     def __post_init__(self) -> None:
         # validate at construction: a bad knob should fail here with a
         # clear ValueError, not surface later as an opaque mmap/queue
@@ -428,6 +435,98 @@ class ServiceConfig:
             raise ValueError("max_pool_crashes must be at least 1")
         if self.fault_plan is not None and hasattr(self.fault_plan, "validate"):
             self.fault_plan.validate()
+        if self.remote_score_cache is not None:
+            parse_address(self.remote_score_cache)
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split a ``host:port`` string, validating the port.
+
+    The one address syntax used across the serving layer (server bind
+    address, client connect address, ``remote_score_cache``).  IPv6
+    literals use the usual bracket form (``[::1]:7777``).
+    """
+    if not isinstance(address, str) or ":" not in address:
+        raise ValueError(f"address must be 'host:port', got {address!r}")
+    host, _, port_text = address.rpartition(":")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid port in address {address!r}") from None
+    if not host or not 0 <= port <= 65535:
+        raise ValueError(f"invalid address {address!r}")
+    return host, port
+
+
+@dataclass
+class ServingConfig:
+    """Configuration of the network synthesis service (``repro.serving``).
+
+    One server owns one warm :class:`~repro.core.service.SynthesisSession`
+    and serves many concurrent client connections: job submission with
+    bounded admission, live wire-streamed progress events, cancellation,
+    and the shared L4 score pool.
+    """
+
+    #: bind host of the server
+    host: str = "127.0.0.1"
+    #: bind port; 0 picks an ephemeral port (read it off ``server.port``)
+    port: int = 0
+    #: admission bound: jobs admitted but not yet settled.  A submit
+    #: beyond this is rejected with an ``over_capacity`` error frame
+    #: carrying ``retry_after`` — backpressure by rejection, never by
+    #: stalling the accept loop
+    max_pending_jobs: int = 64
+    #: retry hint (seconds) returned with ``over_capacity`` rejections
+    retry_after: float = 0.5
+    #: worker-process count the server schedules each batch with
+    #: (forwarded to ``SynthesisSession.run``); 1 = serial in-server
+    n_workers: int = 1
+    #: how long the scheduler waits after the first queued job for more
+    #: submissions before starting the batch — the micro-batching window
+    #: that lets concurrent clients coalesce into one parallel run
+    batch_window: float = 0.05
+    #: hard bound on a single wire frame (a frame larger than this is a
+    #: protocol error and closes the connection)
+    max_frame_bytes: int = 16 * 1024 * 1024
+    #: score-pool pushes are batched: a client tier flushes its queue as
+    #: one ``cache_put`` frame when it holds this many entries
+    push_batch_size: int = 128
+    #: ... or when the oldest queued entry is this old (seconds)
+    push_interval: float = 0.25
+    #: honour ``shutdown`` frames from clients (tests and examples);
+    #: production servers keep this off and stop from their own process
+    allow_remote_shutdown: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.host:
+            raise ValueError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if self.max_pending_jobs < 1:
+            raise ValueError("max_pending_jobs must be at least 1")
+        if self.retry_after < 0:
+            raise ValueError("retry_after must be non-negative")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.max_frame_bytes < 1024:
+            raise ValueError("max_frame_bytes must be at least 1 KiB")
+        if self.push_batch_size < 1:
+            raise ValueError("push_batch_size must be at least 1")
+        if self.push_interval <= 0:
+            raise ValueError("push_interval must be positive")
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` string clients connect to."""
+        return f"{self.host}:{self.port}"
 
 
 @dataclass

@@ -80,6 +80,9 @@ class NetSynBackend(SynthesisBackend):
         #: the L2 shared mmap score table of a parallel session (None on
         #: the default single-tier path); see execution/shared_table.py
         self._score_table: Any = None
+        #: the L4 network score tier of a served session (None offline);
+        #: see serving/cache_tier.py
+        self._remote_tier: Any = None
 
     # ------------------------------------------------------------------
     @property
@@ -167,6 +170,7 @@ class NetSynBackend(SynthesisBackend):
         self._sample_cache = None
         self._map_cache = None
         self._score_table = None
+        self._remote_tier = None
 
     def set_models(
         self,
@@ -270,6 +274,7 @@ class NetSynBackend(SynthesisBackend):
                     capacity=cfg.score_cache_size,
                     namespace=f"score:nnff_{cfg.fitness_kind}",
                     table=self._score_table,
+                    remote=self._remote_tier,
                 )
             self._score_cache.load_snapshot(data["scores"])
         if "maps" in data:
@@ -306,6 +311,24 @@ class NetSynBackend(SynthesisBackend):
         if self._score_cache is not None:
             self._score_cache.attach_table(table)
 
+    @property
+    def remote_tier(self) -> Any:
+        """The attached L4 network score tier (None when serving offline)."""
+        return self._remote_tier
+
+    def attach_remote_tier(self, remote: Any) -> None:
+        """Attach an L4 network score tier (``repro.serving.cache_tier``).
+
+        Misses that fall through every local tier then consult the remote
+        score pool, and computed scores are pushed back asynchronously.
+        Like the L2 table, values are deterministic per structural key, so
+        attaching (or losing) the tier never changes results — only how
+        much local work is skipped.
+        """
+        self._remote_tier = remote
+        if self._score_cache is not None:
+            self._score_cache.attach_remote(remote)
+
     # ------------------------------------------------------------------
     def build_fitness(
         self,
@@ -328,6 +351,7 @@ class NetSynBackend(SynthesisBackend):
                     capacity=cfg.score_cache_size,
                     namespace=f"score:nnff_{kind}",
                     table=self._score_table,
+                    remote=self._remote_tier,
                 )
             if self._sample_cache is None:
                 self._sample_cache = LRUCache(cfg.sample_cache_size)

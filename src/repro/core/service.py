@@ -120,15 +120,25 @@ class SynthesisJob:
         return self.state.terminal
 
     def cancel(self) -> bool:
-        """Request cancellation.
+        """Request cancellation (idempotent, safe at any lifecycle point).
 
         Pending jobs flip to ``CANCELLED`` immediately; running jobs are
         cancelled cooperatively at their next progress event — including
         jobs running in a worker process, where the request travels
         through a shared cancellation flag the worker polls on every
-        event it emits.  Returns False when the job already reached a
-        terminal state.
+        event it emits.
+
+        A cancel that arrives after the job reached a terminal state —
+        the normal case for remote cancels, which can cross the wire
+        after the job already settled — is a strict no-op: the terminal
+        state is left exactly as it is (observable via ``state``) and no
+        flag is raised.  It returns True when the job is (or just
+        became) ``CANCELLED``, so repeating a cancel reports the same
+        answer as the call that won; cancels landing on any other
+        terminal state return False.
         """
+        if self.state.terminal:
+            return self.state is JobState.CANCELLED
         if self.state is JobState.PENDING:
             self.state = JobState.CANCELLED
             # also raise the flag: a cancel racing the PENDING->RUNNING
@@ -137,12 +147,14 @@ class SynthesisJob:
             # or the job would run to completion after reporting success
             self._cancel_requested = True
             return True
-        if self.state is JobState.RUNNING:
-            self._cancel_requested = True
-            if self._remote_cancel is not None:
-                self._remote_cancel()
-            return True
-        return False
+        self._cancel_requested = True
+        # capture once: the runner clears _remote_cancel when the job
+        # settles, and a remote cancel racing that settle must not call
+        # through a reference that just became None
+        remote_cancel = self._remote_cancel
+        if remote_cancel is not None:
+            remote_cancel()
+        return True
 
     def to_dict(self) -> dict:
         return {
@@ -557,6 +569,12 @@ class SynthesisSession:
         #: the parent attaches it too, so score misses after a parallel
         #: run are read from the table instead of shipped in job deltas
         self._score_table: Any = None
+        #: the L4 network score tier (created lazily from
+        #: ServiceConfig.remote_score_cache, or attached explicitly via
+        #: :meth:`attach_remote_score_tier`); None keeps the session
+        #: fully local.  Only the parent process consults it — workers
+        #: share through the L2 table and per-job deltas as before.
+        self._remote_tier: Any = None
         # Persisted warm caches: snapshots written by a previous process
         # next to the artifacts, keyed by model hash (stale snapshots are
         # discarded by ArtifactStore.load_caches).  Applied lazily as
@@ -594,6 +612,40 @@ class SynthesisSession:
         """Attach a session-wide progress-event consumer."""
         self._listeners.append(listener)
 
+    # ------------------------------------------------------------------
+    @property
+    def remote_score_tier(self) -> Any:
+        """The attached L4 network score tier (None when fully local)."""
+        return self._remote_tier
+
+    def attach_remote_score_tier(self, remote: Any) -> None:
+        """Attach an L4 network score tier to this session.
+
+        Every already-built backend (and every backend built later)
+        falls through to ``remote`` on local score-cache misses and
+        pushes computed scores back.  Values are deterministic per
+        structural key, so attaching a tier never changes results.  The
+        server side of ``repro.serving`` uses this to publish its own
+        session's scores into the served score pool.
+        """
+        self._remote_tier = remote
+        for backend in self._backends.values():
+            if hasattr(backend, "attach_remote_tier"):
+                backend.attach_remote_tier(remote)
+
+    def _resolve_remote_tier(self) -> Any:
+        """The session's L4 tier, built on first use from the config.
+
+        The import is deferred so ``repro.core`` never depends on
+        ``repro.serving`` unless a remote cache is actually configured
+        (the serving package imports back into core).
+        """
+        if self._remote_tier is None and self.service_config.remote_score_cache:
+            from repro.serving.cache_tier import RemoteScoreTier
+
+            self._remote_tier = RemoteScoreTier(self.service_config.remote_score_cache)
+        return self._remote_tier
+
     def backend(self, method: str, program_length: Optional[int] = None) -> SynthesisBackend:
         """The cached backend for ``method`` (built and bound on first use)."""
         from repro.baselines.registry import build_backend
@@ -610,6 +662,9 @@ class SynthesisSession:
                 backend.load_cache_snapshot(snapshot)
             if self._score_table is not None and hasattr(backend, "attach_score_table"):
                 backend.attach_score_table(self._score_table)
+            remote = self._resolve_remote_tier()
+            if remote is not None and hasattr(backend, "attach_remote_tier"):
+                backend.attach_remote_tier(remote)
             if hasattr(backend, "begin_cache_delta"):
                 # persisted-snapshot loads count as writes; open a fresh
                 # dirty window so the next L3 segment holds only entries

@@ -227,6 +227,7 @@ class EvaluationRunner:
         verbose: bool = False,
         n_workers: int = 1,
         service_config: Optional[ServiceConfig] = None,
+        remote_address: Optional[str] = None,
     ) -> None:
         self.experiment = (experiment or ExperimentConfig()).scaled()
         self.experiment.validate()
@@ -235,8 +236,12 @@ class EvaluationRunner:
         self.verbose = verbose
         self.n_workers = int(n_workers)
         self.service_config = service_config
+        #: ``host:port`` of a running synthesis server: the grid is
+        #: submitted there instead of through a local session, and no
+        #: Phase-1 model is trained in this process at all
+        self.remote_address = remote_address
         self._context = context
-        self._session: Optional[SynthesisSession] = None
+        self._session: Optional[Any] = None
 
     # ------------------------------------------------------------------
     @property
@@ -250,19 +255,28 @@ class EvaluationRunner:
         return self._context
 
     @property
-    def session(self) -> SynthesisSession:
+    def session(self) -> Any:
         """The synthesis session the evaluation grid runs through.
 
         Built over the shared context's artifact store, so passing a
-        pre-trained ``context`` keeps working as before.
+        pre-trained ``context`` keeps working as before.  With a
+        configured ``remote_address`` this is a
+        :class:`~repro.serving.client.RemoteSynthesisSession` instead —
+        the grid runs in the server process (which owns the trained
+        models) and this process never trains anything.
         """
         if self._session is None:
-            self._session = SynthesisSession(
-                self.context.config,
-                self.context.store,
-                methods=self.experiment.methods,
-                service_config=self.service_config,
-            )
+            if self.remote_address:
+                from repro.serving.client import RemoteSynthesisSession
+
+                self._session = RemoteSynthesisSession(self.remote_address)
+            else:
+                self._session = SynthesisSession(
+                    self.context.config,
+                    self.context.store,
+                    methods=self.experiment.methods,
+                    service_config=self.service_config,
+                )
         return self._session
 
     def build_suite(self, length: int) -> BenchmarkSuite:
@@ -310,7 +324,11 @@ class EvaluationRunner:
         report = EvaluationReport(experiment=self.experiment)
         session = self.session
         submitted = self._submit_grid(session)
-        session.run([job for job, _ in submitted], n_workers=self.n_workers)
+        jobs = [job for job, _ in submitted]
+        if self.remote_address:
+            session.run(jobs)  # worker count is the server's decision
+        else:
+            session.run(jobs, n_workers=self.n_workers)
         for job, run_index in submitted:
             if job.result is None:  # pragma: no cover - failed/cancelled job
                 raise RuntimeError(

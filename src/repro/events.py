@@ -57,6 +57,14 @@ class JobCancelled(Exception):
     """Raised (by a listener) to abandon a synthesis run cooperatively."""
 
 
+#: version of the serialized :class:`ProgressEvent` form.  Bump when a
+#: field is renamed or its meaning changes; *adding* fields does not need
+#: a bump because :meth:`ProgressEvent.from_dict` deterministically drops
+#: keys it does not know (forward compatibility for wire-streamed events:
+#: an old reader fed a newer event keeps every field it understands).
+EVENT_SCHEMA_VERSION = 1
+
+
 @dataclass
 class ProgressEvent:
     """One observation of a running synthesis job.
@@ -85,6 +93,10 @@ class ProgressEvent:
     #: counts hits on entries another worker process computed
     shared_hits: int = 0
     shared_cross_hits: int = 0
+    #: L4 remote-score-tier hits (zero unless a remote cache server is
+    #: attached — see ``repro.serving``); every remote hit is also an
+    #: L1/L2 miss, mirroring how ``shared_hits`` relate to ``cache_hits``
+    remote_hits: int = 0
     #: outcome fields ("finished" events only)
     found: Optional[bool] = None
     found_by: str = ""
@@ -95,8 +107,14 @@ class ProgressEvent:
     reason: str = ""
 
     def to_dict(self) -> dict:
-        """JSON-friendly form (for logs and persisted event streams)."""
+        """JSON-friendly form (for logs and persisted event streams).
+
+        Carries the schema version under ``"v"`` so wire consumers can
+        tell what vintage of event they are reading; :meth:`from_dict`
+        accepts any version and keeps the fields it understands.
+        """
         return {
+            "v": EVENT_SCHEMA_VERSION,
             "kind": self.kind,
             "method": self.method,
             "task_id": self.task_id,
@@ -111,6 +129,7 @@ class ProgressEvent:
             "cache_hit_rate": self.cache_hit_rate,
             "shared_hits": self.shared_hits,
             "shared_cross_hits": self.shared_cross_hits,
+            "remote_hits": self.remote_hits,
             "found": self.found,
             "found_by": self.found_by,
             "worker_id": self.worker_id,
@@ -120,9 +139,20 @@ class ProgressEvent:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ProgressEvent":
-        """Rebuild an event from :meth:`to_dict` output (unknown keys ignored)."""
+        """Rebuild an event from :meth:`to_dict` output.
+
+        Deterministically tolerant of other schema vintages: the version
+        marker (``"v"``) and any keys this build does not know — e.g.
+        fields added by a *newer* writer on the other end of a wire
+        stream — are dropped, never an error; fields this build knows but
+        the writer did not carry keep their defaults.  A record missing
+        ``kind`` entirely deserializes as an ``"unknown"`` event rather
+        than raising, so one foreign record cannot poison a whole log.
+        """
         known = {f.name for f in fields(cls)}
-        return cls(**{key: value for key, value in data.items() if key in known})
+        kept = {key: value for key, value in data.items() if key in known}
+        kept.setdefault("kind", "unknown")
+        return cls(**kept)
 
 
 #: anything that consumes progress events

@@ -1,0 +1,40 @@
+"""The network synthesis service (server, client, wire protocol, L4 tier).
+
+One :class:`~repro.serving.server.SynthesisServer` owns a warm
+:class:`~repro.core.service.SynthesisSession` and serves many concurrent
+clients over a small length-prefixed JSON protocol: job submission with
+bounded admission, live wire-streamed progress events, cancellation, and
+a shared score pool other processes mount as their **L4 cache tier**.
+
+The cache hierarchy this completes::
+
+    L1  per-process LRU            (execution/score_cache.py)
+    L2  shared mmap table          (execution/shared_table.py)
+    L3  append-only cache log      (core/artifacts.py)
+    L4  network score pool         (serving/cache_tier.py)   <- this package
+
+Typical topology: one server process per trained model, N client
+processes (interactive sessions, evaluation runners) that submit jobs
+and/or mount the server's score pool so one client's NN forwards warm
+every other client.
+
+Everything here is standard-library only (asyncio + sockets + json);
+importing ``repro.serving`` never pulls optional dependencies.
+"""
+
+from repro.serving.cache_tier import LocalPoolTier, RemoteScoreTier, ScorePool
+from repro.serving.client import RemoteJob, RemoteSynthesisSession, ServerOverloaded
+from repro.serving.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serving.server import SynthesisServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ScorePool",
+    "LocalPoolTier",
+    "RemoteScoreTier",
+    "RemoteJob",
+    "RemoteSynthesisSession",
+    "ServerOverloaded",
+    "SynthesisServer",
+]

@@ -1,0 +1,291 @@
+"""The L4 network score tier: a served score pool and its client tier.
+
+Three small pieces complete the cache hierarchy across host boundaries:
+
+:class:`ScorePool`
+    The server-side store: a locked dict of ``key64 -> score`` (the same
+    64-bit structural keys the L2 shared table uses, so one key space
+    spans every tier).  Optionally backed by the serving session's own
+    L2 table — a pool miss consults the table before answering, so
+    scores computed by the server's workers are served without ever
+    being copied into the pool.
+
+:class:`LocalPoolTier`
+    The in-process adapter the *server's own session* attaches as its
+    remote tier: gets and puts go straight into the pool, so every score
+    the server computes while solving jobs becomes servable to clients.
+
+:class:`RemoteScoreTier`
+    The client-side tier a :class:`~repro.execution.score_cache.TieredScoreCache`
+    falls through to after L1-L3 miss.  ``get`` is one synchronous
+    request/response on a dedicated connection; ``put`` never blocks the
+    search — entries are queued and a background thread flushes them as
+    batched ``cache_put`` frames.  Any network failure degrades the tier
+    to a no-op (logged once): a dead cache server slows clients down, it
+    never breaks them.
+
+Determinism: cached scores are pure functions of ``(model, program,
+io_set)`` and the key64 space is namespaced per fitness kind, so serving
+a score from any tier — including this one — cannot change results, only
+skip recomputation.  Mixing *different* models against one pool is the
+caller's error, exactly as it is for the on-disk tiers (servers are
+deployed one-per-trained-model; the cache log guards with a model hash).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import parse_address
+from repro.serving import protocol
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.cache_tier")
+
+
+class ScorePool:
+    """Server-side ``key64 -> score`` store shared by every connection."""
+
+    def __init__(self, table: Any = None) -> None:
+        self._store: Dict[int, float] = {}
+        self._lock = threading.Lock()
+        #: optional L2 shared score table consulted on pool misses
+        self._table = table
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def attach_table(self, table: Any) -> None:
+        """Back pool misses by an L2 shared score table (same key space)."""
+        self._table = table
+
+    def get(self, key64: int) -> Optional[float]:
+        with self._lock:
+            value = self._store.get(key64)
+            if value is None and self._table is not None:
+                entry = self._table.get(key64)
+                if entry is not None:
+                    value = entry[0]
+                    self._store[key64] = value
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
+
+    def put(self, key64: int, value: float) -> None:
+        with self._lock:
+            self._store[int(key64)] = float(value)
+            self.puts += 1
+
+    def put_many(self, entries) -> int:
+        """Bulk insert ``(key64, value)`` pairs; returns how many landed."""
+        count = 0
+        with self._lock:
+            for key64, value in entries:
+                self._store[int(key64)] = float(value)
+                count += 1
+            self.puts += count
+        return count
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._store),
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+            }
+
+
+class LocalPoolTier:
+    """The server session's remote tier: a direct view of its own pool."""
+
+    def __init__(self, pool: ScorePool) -> None:
+        self.pool = pool
+
+    def get(self, key64: int) -> Optional[float]:
+        return self.pool.get(key64)
+
+    def put(self, key64: int, value: float) -> None:
+        self.pool.put(key64, value)
+
+
+class RemoteScoreTier:
+    """Client-side L4 tier speaking ``cache_get``/``cache_put`` frames.
+
+    Contract (what :meth:`TieredScoreCache.attach_remote` documents):
+    ``get`` is synchronous and returns None on a miss *or on any network
+    trouble*; ``put`` enqueues and returns immediately — a background
+    pusher thread batches entries into ``cache_put`` frames, flushing
+    when ``push_batch_size`` entries are queued or the oldest entry is
+    ``push_interval`` seconds old.  The first failure marks the tier
+    dead: every later call is a cheap no-op and the search continues on
+    its local tiers alone.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float = 5.0,
+        push_batch_size: int = 128,
+        push_interval: float = 0.25,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self.host, self.port = parse_address(address)
+        self.timeout = float(timeout)
+        self.push_batch_size = int(push_batch_size)
+        self.push_interval = float(push_interval)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._sock: Optional[socket.socket] = None
+        #: one lock serializes every request/response exchange — gets from
+        #: the search thread and batched puts from the pusher share one
+        #: connection, and frames must not interleave mid-exchange
+        self._io_lock = threading.Lock()
+        self._queue: List[Tuple[int, float]] = []
+        self._queue_lock = threading.Lock()
+        self._queued_at: Optional[float] = None
+        self._dead = False
+        self._closed = False
+        self._wake = threading.Event()
+        self._pusher: Optional[threading.Thread] = None
+        # stats (read by tests and the benchmark)
+        self.gets = 0
+        self.hits = 0
+        self.puts_queued = 0
+        self.puts_sent = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    def _die(self, error: Exception) -> None:
+        if not self._dead:
+            self._dead = True
+            logger.warning(
+                "remote score tier %s:%d degraded to no-op: %s", self.host, self.port, error
+            )
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _connection(self) -> socket.socket:
+        """The lazily-opened dedicated cache connection (io_lock held)."""
+        if self._sock is None:
+            sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+            sock.settimeout(self.timeout)
+            self._sock = sock
+        return self._sock
+
+    def _exchange(self, request: dict, want: str) -> Optional[dict]:
+        """One request/response round trip; None (and death) on failure."""
+        if self._dead or self._closed:
+            return None
+        with self._io_lock:
+            try:
+                sock = self._connection()
+                protocol.send_frame(sock, request, self.max_frame_bytes)
+                response = protocol.recv_frame(sock, self.max_frame_bytes)
+            except (OSError, protocol.ProtocolError) as error:
+                self._die(error)
+                return None
+        if response.get("type") != want:
+            self._die(protocol.ProtocolError(f"expected {want!r}, got {response.get('type')!r}"))
+            return None
+        return response
+
+    # ------------------------------------------------------------------
+    def get(self, key64: int) -> Optional[float]:
+        """Synchronous pool lookup (None on miss, trouble, or dead tier)."""
+        self.gets += 1
+        response = self._exchange({"type": "cache_get", "key": int(key64)}, "cache_value")
+        if response is None:
+            return None
+        value = response.get("value")
+        if value is None:
+            return None
+        self.hits += 1
+        return float(value)
+
+    def put(self, key64: int, value: float) -> None:
+        """Queue one entry for the background pusher (never blocks)."""
+        if self._dead or self._closed:
+            return
+        with self._queue_lock:
+            self._queue.append((int(key64), float(value)))
+            self.puts_queued += 1
+            if self._queued_at is None:
+                self._queued_at = time.monotonic()
+            full = len(self._queue) >= self.push_batch_size
+        self._ensure_pusher()
+        if full:
+            self._wake.set()
+
+    def _ensure_pusher(self) -> None:
+        if self._pusher is None or not self._pusher.is_alive():
+            self._pusher = threading.Thread(
+                target=self._push_loop, name="netsyn-l4-pusher", daemon=True
+            )
+            self._pusher.start()
+
+    def _drain(self) -> List[Tuple[int, float]]:
+        with self._queue_lock:
+            batch, self._queue = self._queue, []
+            self._queued_at = None
+        return batch
+
+    def _push_loop(self) -> None:
+        while not self._closed and not self._dead:
+            self._wake.wait(timeout=self.push_interval / 2)
+            self._wake.clear()
+            with self._queue_lock:
+                oldest = self._queued_at
+                size = len(self._queue)
+            if not size:
+                continue
+            if size < self.push_batch_size and (
+                oldest is None or time.monotonic() - oldest < self.push_interval
+            ):
+                continue
+            self.flush()
+
+    def flush(self) -> None:
+        """Push every queued entry now (also called by :meth:`close`)."""
+        batch = self._drain()
+        if not batch or self._dead or self._closed:
+            return
+        response = self._exchange(
+            {"type": "cache_put", "entries": [[k, v] for k, v in batch]}, "cache_ok"
+        )
+        if response is not None:
+            self.puts_sent += len(batch)
+
+    def close(self) -> None:
+        """Flush pending pushes and drop the connection (idempotent)."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        self._wake.set()
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "RemoteScoreTier":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,317 @@
+"""The blocking client: a remote session mirroring the local session API.
+
+:class:`RemoteSynthesisSession` exposes the same surface the in-process
+:class:`~repro.core.service.SynthesisSession` does — ``submit`` /
+``run`` / ``run_job`` / ``add_listener`` / job objects with ``state``,
+``result``, ``events`` and ``cancel()`` — so code written against a
+local session (the evaluation runner, the examples) targets a server
+with a one-line change: point it at ``host:port`` instead of opening a
+session.
+
+``run`` subscribes to each job's wire-streamed events in submission
+order and replays them through the attached listeners as they arrive;
+per-job event order is byte-identical to a local run (the server buffers
+the complete ordered stream, so subscribe timing cannot reorder it).  A
+listener raising :class:`~repro.events.JobCancelled` cancels the job on
+the server, exactly like the local session's cooperative cancellation.
+
+Control requests that must not wait behind a long event stream
+(``cancel``, ``status``) travel on short-lived side connections — the
+server handles every connection concurrently, so a cancel lands while
+the stream is still flowing.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Union
+
+from repro.config import parse_address
+from repro.core.result import SynthesisResult
+from repro.core.service import JobState
+from repro.core.supervisor import FailureReport
+from repro.data.tasks import SynthesisTask
+from repro.events import JobCancelled, ProgressEvent, ProgressListener
+from repro.serving import protocol
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.client")
+
+
+class RemoteError(RuntimeError):
+    """The server answered with an ``error`` frame."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServerOverloaded(RemoteError):
+    """Submit rejected at the admission bound; retry after ``retry_after``."""
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__("over_capacity", message)
+        self.retry_after = float(retry_after)
+
+
+def _raise_on_error(frame: dict) -> dict:
+    if frame.get("type") == "error":
+        code = str(frame.get("code", "error"))
+        message = str(frame.get("message", ""))
+        if code == "over_capacity":
+            raise ServerOverloaded(message, retry_after=frame.get("retry_after", 0.0))
+        raise RemoteError(code, message)
+    return frame
+
+
+@dataclass
+class RemoteJob:
+    """Client-side mirror of one server job (same observable surface)."""
+
+    job_id: str
+    method: str
+    task: SynthesisTask
+    seed: int
+    budget_limit: int
+    program_length: Optional[int] = None
+    state: JobState = JobState.PENDING
+    result: Optional[SynthesisResult] = None
+    error: Optional[str] = None
+    failure: Optional[FailureReport] = None
+    events: List[ProgressEvent] = field(default_factory=list)
+    _session: Any = field(default=None, repr=False, compare=False)
+
+    @property
+    def done(self) -> bool:
+        return self.state.terminal
+
+    def cancel(self) -> bool:
+        """Cancel on the server (idempotent; safe mid-stream — travels on
+        a side connection, see the module docstring)."""
+        if self.state.terminal:
+            return self.state is JobState.CANCELLED
+        if self._session is None:
+            raise RuntimeError("job is not bound to a session")
+        return self._session._cancel_remote(self)
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "method": self.method,
+            "task_id": self.task.task_id,
+            "seed": self.seed,
+            "budget_limit": self.budget_limit,
+            "state": self.state.value,
+            "error": self.error,
+            "failure": self.failure.to_dict() if self.failure is not None else None,
+            "result": self.result.to_dict() if self.result is not None else None,
+            "n_events": len(self.events),
+        }
+
+
+class RemoteSynthesisSession:
+    """A synthesis session living in a server process, driven over TCP.
+
+    Parameters
+    ----------
+    address:
+        ``host:port`` of a running :class:`~repro.serving.server.SynthesisServer`.
+    timeout:
+        Socket timeout (seconds) for control exchanges; event streams use
+        ``stream_timeout`` between frames (None = wait forever, the
+        default — generations can legitimately be slow).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float = 30.0,
+        stream_timeout: Optional[float] = None,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self.host, self.port = parse_address(address)
+        self.timeout = float(timeout)
+        self.stream_timeout = stream_timeout
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.jobs: List[RemoteJob] = []
+        self._listeners: List[ProgressListener] = []
+        self._sock: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        return self._sock
+
+    def _request(self, frame: dict) -> dict:
+        """One request/response on the main connection."""
+        sock = self._connection()
+        sock.settimeout(self.timeout)
+        protocol.send_frame(sock, frame, self.max_frame_bytes)
+        return _raise_on_error(protocol.recv_frame(sock, self.max_frame_bytes))
+
+    def _side_request(self, frame: dict) -> dict:
+        """One request/response on a short-lived side connection."""
+        with socket.create_connection((self.host, self.port), timeout=self.timeout) as sock:
+            protocol.send_frame(sock, frame, self.max_frame_bytes)
+            return _raise_on_error(protocol.recv_frame(sock, self.max_frame_bytes))
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "RemoteSynthesisSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the session surface
+
+    def add_listener(self, listener: ProgressListener) -> None:
+        """Attach a session-wide progress-event consumer."""
+        self._listeners.append(listener)
+
+    def ping(self) -> dict:
+        """Server liveness + score-pool statistics."""
+        return self._request({"type": "ping"})
+
+    def submit(
+        self,
+        task: SynthesisTask,
+        method: Optional[str] = None,
+        budget: Union[int, Any, None] = None,
+        seed: int = 0,
+        program_length: Optional[int] = None,
+    ) -> RemoteJob:
+        """Enqueue one job on the server (mirrors ``SynthesisSession.submit``).
+
+        Raises :class:`ServerOverloaded` (with ``retry_after``) when the
+        server is at its admission bound.
+        """
+        limit = budget.limit if hasattr(budget, "limit") else budget
+        response = self._request(
+            {
+                "type": "submit",
+                "task": protocol.task_to_wire(task),
+                "method": method,
+                "budget": int(limit) if limit is not None else None,
+                "seed": int(seed),
+                "program_length": program_length,
+            }
+        )
+        job = RemoteJob(
+            job_id=str(response["job_id"]),
+            method=str(response.get("method") or method or ""),
+            task=task,
+            seed=int(seed),
+            budget_limit=int(limit) if limit is not None else 0,
+            program_length=program_length,
+            _session=self,
+        )
+        self.jobs.append(job)
+        return job
+
+    def run(self, jobs: Optional[Sequence[RemoteJob]] = None) -> List[RemoteJob]:
+        """Stream every pending job to its terminal state, in order.
+
+        Events are replayed through the attached listeners as they
+        arrive; each job's stream is consumed completely (through its
+        ``end`` frame) before the next job's begins, so listener-observed
+        per-job order matches a local serial run.
+        """
+        pending = [job for job in (jobs if jobs is not None else self.jobs) if not job.done]
+        for job in pending:
+            self._stream_job(job)
+        return pending
+
+    def run_job(self, job: RemoteJob) -> RemoteJob:
+        """Stream one job to its terminal state (mirrors the local API)."""
+        if not job.done:
+            self._stream_job(job)
+        return job
+
+    def status(self, job: RemoteJob) -> RemoteJob:
+        """Refresh a job's state from the server without streaming."""
+        response = self._side_request({"type": "status", "job_id": job.job_id})
+        self._apply_job_frame(job, response["job"])
+        return job
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _cancel_remote(self, job: RemoteJob) -> bool:
+        response = self._side_request({"type": "cancel", "job_id": job.job_id})
+        # don't overwrite local state mid-stream: the authoritative
+        # terminal state arrives with the stream's own end frame
+        return bool(response.get("accepted", False))
+
+    def _apply_job_frame(self, job: RemoteJob, data: dict) -> None:
+        job.state = JobState(data["state"])
+        job.error = data.get("error")
+        job.failure = protocol.failure_from_wire(data.get("failure"))
+        job.result = protocol.result_from_wire(data.get("result"))
+
+    def _stream_job(self, job: RemoteJob) -> None:
+        if job.state is JobState.PENDING:
+            job.state = JobState.RUNNING
+        sock = self._connection()
+        sock.settimeout(self.timeout)
+        protocol.send_frame(
+            sock,
+            {"type": "events", "job_id": job.job_id, "since": len(job.events)},
+            self.max_frame_bytes,
+        )
+        sock.settimeout(self.stream_timeout)
+        while True:
+            frame = _raise_on_error(protocol.recv_frame(sock, self.max_frame_bytes))
+            kind = frame.get("type")
+            if kind == "event":
+                event = protocol.event_from_wire(frame.get("event"))
+                job.events.append(event)
+                for listener in self._listeners:
+                    try:
+                        listener(event)
+                    except JobCancelled:
+                        job.cancel()
+                    except Exception:  # noqa: BLE001 - mirror the pump's tolerance
+                        logger.exception("session listener failed on %s", event.kind)
+            elif kind == "end":
+                self._apply_job_frame(job, frame["job"])
+                return
+            else:
+                raise RemoteError("bad_frame", f"unexpected frame {kind!r} in event stream")
+
+    # ------------------------------------------------------------------
+    # conveniences
+
+    def solve(
+        self,
+        task: SynthesisTask,
+        method: Optional[str] = None,
+        budget: Union[int, Any, None] = None,
+        seed: int = 0,
+        program_length: Optional[int] = None,
+    ) -> RemoteJob:
+        """Submit one task and stream it to completion."""
+        return self.run_job(
+            self.submit(task, method=method, budget=budget, seed=seed, program_length=program_length)
+        )
+
+    def shutdown_server(self) -> bool:
+        """Ask the server to stop (requires ``allow_remote_shutdown``)."""
+        try:
+            response = self._side_request({"type": "shutdown"})
+        except RemoteError as error:
+            if error.code == "forbidden":
+                return False
+            raise
+        return response.get("type") == "bye"

@@ -1,0 +1,445 @@
+"""The asyncio synthesis server: one warm session, many connections.
+
+Architecture (three kinds of thread, one asyncio loop)::
+
+    asyncio loop (netsyn-serving-loop)
+        accepts connections, parses frames, answers control requests,
+        writes event streams.  Never runs synthesis.
+    scheduler thread (netsyn-serving-scheduler)
+        drains the admission queue, micro-batches submissions inside
+        ``batch_window`` so concurrent clients coalesce into one
+        parallel ``session.run``, then settles each job's stream.
+    the session's own machinery
+        the supervised worker pool, event pump and cache tiers of
+        :class:`~repro.core.service.SynthesisSession` — unchanged; the
+        server is a network shell around it.
+
+Event routing: the server registers one session listener.  Every event
+carries its ``job_id``; the listener appends it (in emission order) to
+that job's stream buffer and wakes any subscribed connections through
+``loop.call_soon_threadsafe``.  Because the buffer holds the complete
+ordered stream, a client may subscribe before, during or after the run —
+late subscribers replay the backlog first, so the observed per-job
+stream is identical regardless of timing, and a disconnected client can
+reconnect and resume from any sequence number.
+
+Backpressure is rejection, not stalling: a ``submit`` beyond
+``max_pending_jobs`` unsettled jobs is answered with an
+``over_capacity`` error carrying ``retry_after`` — the accept loop and
+running jobs are never blocked by an overeager client.
+
+The server's own session publishes every score it computes into the
+served :class:`~repro.serving.cache_tier.ScorePool` (attached as its
+remote tier), so clients mounting the pool as their L4 tier are warmed
+by the server's work — and by each other's pushed-back scores.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import ServingConfig
+from repro.core.service import JobState, SynthesisJob, SynthesisSession
+from repro.events import ProgressEvent
+from repro.serving import protocol
+from repro.serving.cache_tier import LocalPoolTier, ScorePool
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.server")
+
+
+class _JobStream:
+    """The buffered, subscribable event stream of one job."""
+
+    __slots__ = ("lock", "frames", "subscribers", "terminal")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        #: ordered ``event`` frames (wire form), seq == index
+        self.frames: List[dict] = []
+        #: live consumers: (loop, queue) pairs fed via call_soon_threadsafe
+        self.subscribers: List[Tuple[asyncio.AbstractEventLoop, "asyncio.Queue[dict]"]] = []
+        #: the ``end`` frame once the job settled (None while running)
+        self.terminal: Optional[dict] = None
+
+
+class SynthesisServer:
+    """Serve one :class:`SynthesisSession` to concurrent network clients."""
+
+    def __init__(
+        self,
+        session: SynthesisSession,
+        config: Optional[ServingConfig] = None,
+    ) -> None:
+        self.session = session
+        self.config = config or ServingConfig()
+        self.pool = ScorePool(table=getattr(session, "_score_table", None))
+        # the server's own work becomes servable: scores the session
+        # computes solving jobs go straight into the pool, and its own
+        # misses are answered from what clients pushed back
+        session.attach_remote_score_tier(LocalPoolTier(self.pool))
+        session.add_listener(self._on_event)
+        self._jobs: Dict[str, SynthesisJob] = {}
+        self._streams: Dict[str, _JobStream] = {}
+        self._registry_lock = threading.Lock()
+        #: admitted-but-unsettled job count (the admission bound)
+        self._active = 0
+        self._admission_lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[SynthesisJob]]" = queue.Queue()
+        self._stopping = threading.Event()
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._main_task: Optional["asyncio.Task[None]"] = None
+        self._scheduler: Optional[threading.Thread] = None
+        self._thread: Optional[threading.Thread] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> "SynthesisServer":
+        """Bind and start serving on the current asyncio loop."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._scheduler = threading.Thread(
+            target=self._schedule_loop, name="netsyn-serving-scheduler", daemon=True
+        )
+        self._scheduler.start()
+        self._started.set()
+        logger.info("synthesis server listening on %s:%d", self.config.host, self.port)
+        return self
+
+    async def _serve_forever(self) -> None:
+        self._main_task = asyncio.current_task()
+        await self.start()
+        try:
+            async with self._server:
+                await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    def start_background(self) -> "SynthesisServer":
+        """Run the server on a daemon thread; returns once it listens."""
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._serve_forever()),
+            name="netsyn-serving-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("synthesis server failed to start")
+        return self
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` clients connect to (after :meth:`start`)."""
+        if self.port is None:
+            raise RuntimeError("server not started")
+        return f"{self.config.host}:{self.port}"
+
+    def _request_stop(self) -> None:
+        """Initiate shutdown without joining (safe from any thread)."""
+        self._stopping.set()
+        self._queue.put(None)
+        if self._loop is not None and self._main_task is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._main_task.cancel)
+            except RuntimeError:  # loop already closed
+                pass
+
+    def stop(self) -> None:
+        """Shut down the server and join its threads (idempotent)."""
+        self._request_stop()
+        if self._scheduler is not None and self._scheduler is not threading.current_thread():
+            self._scheduler.join(timeout=30.0)
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "SynthesisServer":
+        return self.start_background()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # event routing (called on the session's pump/scheduler threads)
+
+    def _on_event(self, event: ProgressEvent) -> None:
+        stream = self._streams.get(event.job_id)
+        if stream is None:  # session-scope events (startup recovery etc.)
+            return
+        frame = {"type": "event", "seq": 0, "event": protocol.event_to_wire(event)}
+        with stream.lock:
+            frame["seq"] = len(stream.frames)
+            stream.frames.append(frame)
+            subscribers = list(stream.subscribers)
+        for loop, q in subscribers:
+            try:
+                loop.call_soon_threadsafe(q.put_nowait, frame)
+            except RuntimeError:  # that connection's loop is gone
+                pass
+
+    def _settle(self, job: SynthesisJob) -> None:
+        """Publish a job's terminal frame and release its admission slot."""
+        stream = self._streams.get(job.job_id)
+        end = {"type": "end", "job": protocol.job_to_wire(job)}
+        if stream is not None:
+            with stream.lock:
+                stream.terminal = end
+                subscribers = list(stream.subscribers)
+            for loop, q in subscribers:
+                try:
+                    loop.call_soon_threadsafe(q.put_nowait, end)
+                except RuntimeError:
+                    pass
+        with self._admission_lock:
+            self._active -= 1
+
+    # ------------------------------------------------------------------
+    # scheduling (the scheduler thread)
+
+    def _schedule_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                first = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if first is None:
+                break
+            batch = [first]
+            deadline = time.monotonic() + self.config.batch_window
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is None:
+                    self._stopping.set()
+                    break
+                batch.append(item)
+            self._run_batch(batch)
+        # settle anything still queued so no client hangs on shutdown
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is None:
+                continue
+            if not job.done:
+                job.state = JobState.CANCELLED
+            self._settle(job)
+
+    def _run_batch(self, batch: List[SynthesisJob]) -> None:
+        try:
+            self.session.run(batch, n_workers=self.config.n_workers)
+        except Exception as error:  # noqa: BLE001 - server must survive a bad batch
+            logger.exception("batch of %d job(s) failed", len(batch))
+            for job in batch:
+                if not job.done:
+                    job.state = JobState.FAILED
+                    job.error = f"{type(error).__name__}: {error}"
+        for job in batch:
+            self._settle(job)
+
+    # ------------------------------------------------------------------
+    # connections (the asyncio loop)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        max_bytes = self.config.max_frame_bytes
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame(reader, max_bytes)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break  # client went away between frames: normal
+                except protocol.ProtocolError as error:
+                    # answer loudly, then drop the connection: after a
+                    # malformed frame the byte stream cannot be trusted
+                    await protocol.write_frame(
+                        writer, protocol.error_frame("bad_frame", str(error)), max_bytes
+                    )
+                    break
+                if await self._dispatch(frame, writer):
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # mid-write disconnect or server shutdown: nothing to save
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # a shutdown-time cancel landing inside this close is
+                # absorbed so the task ends cleanly (asyncio's stream
+                # callback logs spurious errors for cancelled tasks)
+                pass
+
+    async def _dispatch(self, frame: dict, writer: asyncio.StreamWriter) -> bool:
+        """Handle one request frame; True closes the connection."""
+        max_bytes = self.config.max_frame_bytes
+        kind = frame.get("type")
+        if kind == "submit":
+            await protocol.write_frame(writer, self._handle_submit(frame), max_bytes)
+        elif kind == "status":
+            await protocol.write_frame(writer, self._job_frame(frame, cancel=False), max_bytes)
+        elif kind == "cancel":
+            await protocol.write_frame(writer, self._job_frame(frame, cancel=True), max_bytes)
+        elif kind == "events":
+            await self._handle_events(frame, writer)
+        elif kind == "cache_get":
+            key = frame.get("key")
+            if not isinstance(key, int):
+                await protocol.write_frame(
+                    writer, protocol.error_frame("bad_frame", "cache_get needs an int key"), max_bytes
+                )
+                return True
+            self._refresh_pool_table()
+            await protocol.write_frame(
+                writer, {"type": "cache_value", "value": self.pool.get(key)}, max_bytes
+            )
+        elif kind == "cache_put":
+            entries = frame.get("entries")
+            if not isinstance(entries, list):
+                await protocol.write_frame(
+                    writer, protocol.error_frame("bad_frame", "cache_put needs an entries list"), max_bytes
+                )
+                return True
+            try:
+                count = self.pool.put_many((int(k), float(v)) for k, v in entries)
+            except (TypeError, ValueError):
+                await protocol.write_frame(
+                    writer, protocol.error_frame("bad_frame", "entries must be [key, value] pairs"), max_bytes
+                )
+                return True
+            await protocol.write_frame(writer, {"type": "cache_ok", "count": count}, max_bytes)
+        elif kind == "ping":
+            with self._admission_lock:
+                active = self._active
+            await protocol.write_frame(
+                writer,
+                {
+                    "type": "pong",
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "active_jobs": active,
+                    "pool": self.pool.stats(),
+                },
+                max_bytes,
+            )
+        elif kind == "shutdown":
+            if not self.config.allow_remote_shutdown:
+                await protocol.write_frame(
+                    writer, protocol.error_frame("forbidden", "remote shutdown is disabled"), max_bytes
+                )
+                return True
+            await protocol.write_frame(writer, {"type": "bye"}, max_bytes)
+            self._request_stop()
+            return True
+        else:
+            await protocol.write_frame(
+                writer, protocol.error_frame("unknown_type", f"unknown frame type {kind!r}"), max_bytes
+            )
+        return False
+
+    def _refresh_pool_table(self) -> None:
+        """Back the pool by the session's L2 table once one exists (the
+        table is created lazily at the session's first parallel run)."""
+        table = getattr(self.session, "_score_table", None)
+        if table is not None:
+            self.pool.attach_table(table)
+
+    # -- submit ---------------------------------------------------------
+
+    def _handle_submit(self, frame: dict) -> dict:
+        with self._admission_lock:
+            if self._active >= self.config.max_pending_jobs:
+                return protocol.error_frame(
+                    "over_capacity",
+                    f"{self._active} unsettled job(s) at the {self.config.max_pending_jobs}-job bound",
+                    retry_after=self.config.retry_after,
+                )
+            self._active += 1
+        try:
+            task = protocol.task_from_wire(frame.get("task") or {})
+            budget = frame.get("budget")
+            program_length = frame.get("program_length")
+            job = self.session.submit(
+                task,
+                method=frame.get("method") or None,
+                budget=int(budget) if budget is not None else None,
+                seed=int(frame.get("seed", 0)),
+                program_length=int(program_length) if program_length is not None else None,
+            )
+        except (protocol.ProtocolError, KeyError, TypeError, ValueError) as error:
+            with self._admission_lock:
+                self._active -= 1
+            return protocol.error_frame("bad_frame", f"rejected submit: {error}")
+        with self._registry_lock:
+            self._jobs[job.job_id] = job
+            self._streams[job.job_id] = _JobStream()
+        self._queue.put(job)
+        return {"type": "submitted", "job_id": job.job_id, "method": job.method}
+
+    # -- status / cancel ------------------------------------------------
+
+    def _job_frame(self, frame: dict, cancel: bool) -> dict:
+        job = self._jobs.get(str(frame.get("job_id")))
+        if job is None:
+            return protocol.error_frame("unknown_job", f"no job {frame.get('job_id')!r}")
+        response = {"type": "job", "job": None}
+        if cancel:
+            response["accepted"] = job.cancel()
+        response["job"] = protocol.job_to_wire(job)
+        return response
+
+    # -- event streaming ------------------------------------------------
+
+    async def _handle_events(self, frame: dict, writer: asyncio.StreamWriter) -> None:
+        max_bytes = self.config.max_frame_bytes
+        job_id = str(frame.get("job_id"))
+        stream = self._streams.get(job_id)
+        if stream is None:
+            await protocol.write_frame(
+                writer, protocol.error_frame("unknown_job", f"no job {job_id!r}"), max_bytes
+            )
+            return
+        since = frame.get("since", 0)
+        since = since if isinstance(since, int) and since >= 0 else 0
+        loop = asyncio.get_running_loop()
+        live: "asyncio.Queue[dict]" = asyncio.Queue()
+        subscription = (loop, live)
+        # snapshot + subscribe atomically: everything before the snapshot
+        # is replayed from the buffer, everything after arrives on the
+        # queue — no gap, no duplicate, regardless of subscribe timing
+        with stream.lock:
+            backlog = stream.frames[since:]
+            terminal = stream.terminal
+            if terminal is None:
+                stream.subscribers.append(subscription)
+        try:
+            for event_frame in backlog:
+                await protocol.write_frame(writer, event_frame, max_bytes)
+            if terminal is not None:
+                await protocol.write_frame(writer, terminal, max_bytes)
+                return
+            while True:
+                event_frame = await live.get()
+                await protocol.write_frame(writer, event_frame, max_bytes)
+                if event_frame.get("type") == "end":
+                    return
+        finally:
+            with stream.lock:
+                if subscription in stream.subscribers:
+                    stream.subscribers.remove(subscription)

@@ -334,8 +334,10 @@ class TestJobLifecycle:
         assert job.state is JobState.CANCELLED
         edit_session.run()
         assert job.state is JobState.CANCELLED and job.result is None
-        # cancelling a terminal job is a no-op
-        assert not job.cancel()
+        # re-cancelling an already-cancelled job is an idempotent no-op
+        # reporting the same outcome as the cancel that won
+        assert job.cancel()
+        assert job.state is JobState.CANCELLED
 
     def test_cooperative_cancel_mid_run(self, edit_session, tiny_task):
         # contradictory examples: no program satisfies both, so the GA can

@@ -1,0 +1,686 @@
+"""Tests of the network synthesis service (``repro.serving``).
+
+Covers the wire protocol (framing + domain serialization round trips),
+the server/client end-to-end path against localhost — stream parity with
+a local session, concurrent clients, mid-stream disconnects, admission
+rejection, cancellation, server-side worker crashes surfacing as
+structured FailureReports — and the L4 network score tier (hit/miss
+accounting through ``CacheStats.remote_hits``, dead-server degradation).
+
+Everything network-bound runs against an ephemeral-port server on
+127.0.0.1; the fast tests use the artifact-free ``edit`` fitness, the L4
+tests a trained tiny cf model (scores are what the tier caches).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.config import NetSynConfig, ServiceConfig, ServingConfig, parse_address
+from repro.core.artifacts import ArtifactStore
+from repro.core.result import SynthesisResult
+from repro.core.service import JobState, SynthesisSession
+from repro.core.supervisor import FailureReport
+from repro.data.tasks import SynthesisTask, make_synthesis_task
+from repro.dsl.equivalence import IOExample
+from repro.dsl.program import Program
+from repro.events import EVENT_SCHEMA_VERSION, EventLog, ProgressEvent
+from repro.execution.faults import FaultPlan
+from repro.execution.score_cache import TieredScoreCache
+from repro.serving import (
+    LocalPoolTier,
+    ProtocolError,
+    RemoteSynthesisSession,
+    RemoteScoreTier,
+    ScorePool,
+    ServerOverloaded,
+    SynthesisServer,
+)
+from repro.serving import protocol
+from repro.serving.client import RemoteError
+
+
+EDIT_CONFIG = NetSynConfig.small().replace(fitness_kind="edit", fp_guided_mutation=False)
+
+
+def edit_session(**service_kwargs) -> SynthesisSession:
+    service_kwargs.setdefault("persist_caches", False)
+    return SynthesisSession(
+        EDIT_CONFIG,
+        ArtifactStore(),
+        methods=("edit",),
+        service_config=ServiceConfig(**service_kwargs),
+    )
+
+
+def impossible_task(task_id: str = "impossible") -> SynthesisTask:
+    """A task no program can solve (contradictory examples) — runs until
+    its budget is gone, which is what the cancel/admission tests need."""
+    target = make_synthesis_task(length=3, seed=1).target
+    return SynthesisTask(
+        target=target,
+        io_set=[
+            IOExample(inputs=([1, 2, 3],), output=[1]),
+            IOExample(inputs=([1, 2, 3],), output=[2]),
+        ],
+        length=3,
+        is_singleton=False,
+        task_id=task_id,
+    )
+
+
+# ---------------------------------------------------------------------------
+# protocol: framing
+# ---------------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        frame = protocol.encode_frame({"type": "ping", "extra": [1, 2.5, None]})
+        (length,) = struct.unpack("!I", frame[:4])
+        assert length == len(frame) - 4
+        message = protocol.decode_payload(frame[4:])
+        assert message["type"] == "ping"
+        assert message["extra"] == [1, 2.5, None]
+        assert message["v"] == protocol.PROTOCOL_VERSION
+
+    def test_oversized_frame_rejected_on_send(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame({"type": "x", "blob": "a" * 2048}, max_frame_bytes=1024)
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_payload(b"\xff\xfe not json")
+        with pytest.raises(ProtocolError):
+            protocol.decode_payload(b'"a bare string"')
+        with pytest.raises(ProtocolError):
+            protocol.decode_payload(b'{"no_type_key": 1}')
+
+    def test_future_version_rejected(self):
+        payload = json.dumps({"type": "ping", "v": protocol.PROTOCOL_VERSION + 1}).encode()
+        with pytest.raises(ProtocolError):
+            protocol.decode_payload(payload)
+
+    def test_blocking_socket_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            protocol.send_frame(left, {"type": "ping", "n": 7})
+            message = protocol.recv_frame(right)
+            assert message == {"type": "ping", "n": 7, "v": protocol.PROTOCOL_VERSION}
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_rejects_oversized_header(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("!I", 10_000) + b"x" * 16)
+            with pytest.raises(ProtocolError):
+                protocol.recv_frame(right, max_frame_bytes=1024)
+        finally:
+            left.close()
+            right.close()
+
+
+# ---------------------------------------------------------------------------
+# protocol: domain objects
+# ---------------------------------------------------------------------------
+
+
+class TestWireForms:
+    def _json_roundtrip(self, data: dict) -> dict:
+        return json.loads(json.dumps(data))
+
+    def test_task_roundtrip(self):
+        task = make_synthesis_task(length=3, seed=4)
+        back = protocol.task_from_wire(self._json_roundtrip(protocol.task_to_wire(task)))
+        assert back.target.function_ids == task.target.function_ids
+        assert back.io_set == task.io_set
+        assert back.length == task.length
+        assert back.is_singleton == task.is_singleton
+        assert back.task_id == task.task_id
+
+    def test_malformed_task_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            protocol.task_from_wire({"target": [0]})  # io_set missing
+
+    def test_result_roundtrip(self):
+        result = SynthesisResult(
+            found=True,
+            program=Program([1, 2, 3]),
+            candidates_used=123,
+            budget_limit=1000,
+            generations=7,
+            wall_time_seconds=0.25,
+            found_by="ga",
+            method="edit",
+            task_id="t-1",
+            neighborhood_invocations=2,
+            average_fitness_history=[0.1, 0.2],
+            best_fitness_history=[0.3, 0.4],
+        )
+        back = protocol.result_from_wire(self._json_roundtrip(protocol.result_to_wire(result)))
+        assert back == result
+        assert protocol.result_from_wire(None) is None
+
+    def test_failure_roundtrip(self):
+        failure = FailureReport(
+            job_id="job-1", kind="crash", attempts=3, message="boom",
+            worker_ids=(0, 1), elapsed=1.5,
+        )
+        back = protocol.failure_from_wire(self._json_roundtrip(protocol.failure_to_wire(failure)))
+        assert back == failure
+        assert protocol.failure_from_wire(None) is None
+
+    def test_event_roundtrip_is_exact(self):
+        event = ProgressEvent(
+            kind="generation", method="edit", task_id="t", job_id="job-1",
+            generation=3, mean_fitness=0.123456789012345, best_fitness=None,
+            candidates_used=42, budget_limit=100, cache_hits=5, cache_misses=7,
+            cache_hit_rate=5 / 12, shared_hits=1, shared_cross_hits=1, remote_hits=2,
+        )
+        back = protocol.event_from_wire(self._json_roundtrip(protocol.event_to_wire(event)))
+        assert back == event  # floats survive JSON bit-exactly (repr round trip)
+
+
+# ---------------------------------------------------------------------------
+# event schema versioning (EventLog persistence forward-compat)
+# ---------------------------------------------------------------------------
+
+
+class TestEventSchema:
+    def test_to_dict_carries_schema_version(self):
+        assert ProgressEvent(kind="started").to_dict()["v"] == EVENT_SCHEMA_VERSION
+
+    def test_from_dict_drops_unknown_fields(self):
+        data = ProgressEvent(kind="generation", generation=2).to_dict()
+        data["from_the_future"] = {"nested": True}
+        event = ProgressEvent.from_dict(data)
+        assert event.kind == "generation"
+        assert event.generation == 2
+        assert not hasattr(event, "from_the_future")
+
+    def test_from_dict_without_kind_is_unknown(self):
+        assert ProgressEvent.from_dict({"generation": 1}).kind == "unknown"
+
+    def test_event_log_reloads_newer_records(self, tmp_path):
+        log = EventLog()
+        log(ProgressEvent(kind="started", method="edit"))
+        log(ProgressEvent(kind="finished", found=True))
+        path = tmp_path / "events.json"
+        log.save(path)
+        # simulate a newer writer: inject fields this build doesn't know
+        records = json.loads(path.read_text())
+        for record in records:
+            record["v"] = EVENT_SCHEMA_VERSION
+            record["brand_new_field"] = 1
+        path.write_text(json.dumps(records))
+        reloaded = EventLog.load(path)
+        assert not reloaded.truncated
+        assert reloaded.kinds() == ["started", "finished"]
+        assert reloaded.events[0].method == "edit"
+        assert reloaded.events[1].found is True
+
+
+# ---------------------------------------------------------------------------
+# cancel idempotence on terminal jobs
+# ---------------------------------------------------------------------------
+
+
+class TestCancelIdempotence:
+    def test_cancel_pending_then_repeat(self):
+        session = edit_session()
+        job = session.submit(make_synthesis_task(length=3, seed=1), budget=100)
+        assert job.cancel() is True
+        assert job.state is JobState.CANCELLED
+        assert job.cancel() is True  # repeat reports the same answer
+        assert job.state is JobState.CANCELLED
+
+    def test_cancel_after_terminal_is_noop(self):
+        session = edit_session()
+        job = session.submit(make_synthesis_task(length=3, seed=2), budget=2000)
+        session.run([job])
+        terminal = job.state
+        assert terminal in (JobState.SOLVED, JobState.EXHAUSTED)
+        result = job.result
+        assert job.cancel() is False  # non-CANCELLED terminal state: no-op
+        assert job.state is terminal
+        assert job.result is result
+
+
+# ---------------------------------------------------------------------------
+# server round trips (edit sessions: artifact-free, fast)
+# ---------------------------------------------------------------------------
+
+
+SERVING_FAST = ServingConfig(batch_window=0.01)
+
+
+class TestServerRoundTrip:
+    def test_remote_stream_matches_local_serial_stream(self):
+        task = make_synthesis_task(length=3, seed=5)
+        local = edit_session()
+        local_job = local.submit(task, budget=2000, seed=1)
+        local.run([local_job])
+
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                remote_job = client.submit(task, budget=2000, seed=1)
+                client.run([remote_job])
+
+        assert remote_job.state is local_job.state
+        assert remote_job.result.program == local_job.result.program
+        assert remote_job.result.candidates_used == local_job.result.candidates_used
+        local_events = [e.to_dict() for e in local_job.events]
+        remote_events = [e.to_dict() for e in remote_job.events]
+        for record in local_events + remote_events:
+            record.pop("job_id")  # server-side numbering differs, nothing else
+        assert remote_events == local_events
+
+    def test_listener_sees_live_events_in_order(self):
+        task = make_synthesis_task(length=3, seed=6)
+        log = EventLog()
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                client.add_listener(log)
+                job = client.submit(task, budget=1500, seed=0)
+                client.run([job])
+        assert log.kinds() == [e.kind for e in job.events]
+        assert log.kinds()[0] == "started"
+        assert log.kinds()[-1] == "finished"
+
+    def test_concurrent_clients_coalesce_and_settle(self):
+        tasks = [make_synthesis_task(length=3, seed=s) for s in (10, 11)]
+        results: dict = {}
+        errors: list = []
+        with SynthesisServer(edit_session(), ServingConfig(batch_window=0.25)) as server:
+
+            def drive(index: int) -> None:
+                try:
+                    with RemoteSynthesisSession(server.address) as client:
+                        job = client.submit(tasks[index], budget=1500, seed=index)
+                        client.run([job])
+                        results[index] = job
+                except Exception as error:  # noqa: BLE001 - surfaced below
+                    errors.append(error)
+
+            threads = [threading.Thread(target=drive, args=(i,)) for i in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+        assert not errors
+        assert sorted(results) == [0, 1]
+        for index, job in results.items():
+            assert job.done
+            assert job.events[-1].kind == "finished"
+            # each stream belongs to its own job only
+            assert len({e.job_id for e in job.events}) == 1
+
+    def test_status_ping_and_unknown_job(self):
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                pong = client.ping()
+                assert pong["type"] == "pong"
+                assert pong["protocol"] == protocol.PROTOCOL_VERSION
+                job = client.submit(make_synthesis_task(length=3, seed=1), budget=500)
+                client.run([job])
+                refreshed = client.status(job)
+                assert refreshed.done
+                with pytest.raises(RemoteError) as excinfo:
+                    client._side_request({"type": "status", "job_id": "job-999"})
+                assert excinfo.value.code == "unknown_job"
+
+    def test_malformed_frame_answered_then_closed(self):
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+                payload = b"this is not json"
+                sock.sendall(struct.pack("!I", len(payload)) + payload)
+                response = protocol.recv_frame(sock)
+                assert response["type"] == "error"
+                assert response["code"] == "bad_frame"
+                sock.settimeout(10)
+                assert sock.recv(1) == b""  # server closed the connection
+            # the server is still alive and serving
+            with RemoteSynthesisSession(server.address) as client:
+                assert client.ping()["type"] == "pong"
+
+    def test_unknown_frame_type_is_an_error(self):
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                with pytest.raises(RemoteError) as excinfo:
+                    client._side_request({"type": "frobnicate"})
+                assert excinfo.value.code == "unknown_type"
+
+    def test_disconnect_mid_stream_leaves_server_healthy(self):
+        task = make_synthesis_task(length=3, seed=5)
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                job = client.submit(task, budget=2000, seed=1)
+                # subscribe raw, read a couple of frames, vanish abruptly
+                rude = socket.create_connection(("127.0.0.1", server.port), timeout=30)
+                protocol.send_frame(rude, {"type": "events", "job_id": job.job_id, "since": 0})
+                seen = [protocol.recv_frame(rude) for _ in range(2)]
+                assert all(frame["type"] == "event" for frame in seen)
+                rude.close()
+                # the same client (and any other) still gets the complete
+                # stream: the buffer replays from the start
+                client.run([job])
+            assert job.done
+            assert job.events[0].kind == "started"
+            assert job.events[-1].kind == "finished"
+
+    def test_resume_stream_with_since(self):
+        task = make_synthesis_task(length=3, seed=5)
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                job = client.submit(task, budget=1500, seed=1)
+                client.run([job])
+                total = len(job.events)
+                assert total > 4
+                # a fresh subscription from the middle yields only the tail
+                with socket.create_connection(("127.0.0.1", server.port), timeout=30) as sock:
+                    protocol.send_frame(
+                        sock, {"type": "events", "job_id": job.job_id, "since": total - 2}
+                    )
+                    tail = []
+                    while True:
+                        frame = protocol.recv_frame(sock)
+                        if frame["type"] == "end":
+                            break
+                        tail.append(frame)
+                assert [f["seq"] for f in tail] == [total - 2, total - 1]
+
+    def test_cancel_mid_run(self):
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                job = client.submit(impossible_task(), budget=200_000, seed=0)
+                cancelled = threading.Event()
+
+                def cancel_after_progress(event: ProgressEvent) -> None:
+                    if event.generation >= 2 and not cancelled.is_set():
+                        cancelled.set()
+                        assert job.cancel() is True
+
+                client.add_listener(cancel_after_progress)
+                client.run([job])
+        assert cancelled.is_set()
+        assert job.state is JobState.CANCELLED
+        assert job.result is None
+
+    def test_admission_rejection_with_retry_after(self):
+        serving = ServingConfig(max_pending_jobs=1, batch_window=5.0, retry_after=0.75)
+        with SynthesisServer(edit_session(), serving) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                first = client.submit(make_synthesis_task(length=3, seed=1), budget=200)
+                with pytest.raises(ServerOverloaded) as excinfo:
+                    client.submit(make_synthesis_task(length=3, seed=2), budget=200)
+                assert excinfo.value.retry_after == pytest.approx(0.75)
+                assert first.job_id  # the admitted job is unaffected
+
+    def test_shutdown_forbidden_by_default(self):
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                assert client.shutdown_server() is False
+                assert client.ping()["type"] == "pong"
+
+    def test_remote_shutdown_when_allowed(self):
+        serving = ServingConfig(batch_window=0.01, allow_remote_shutdown=True)
+        server = SynthesisServer(edit_session(), serving).start_background()
+        with RemoteSynthesisSession(server.address) as client:
+            assert client.shutdown_server() is True
+        server.stop()  # idempotent; joins the already-stopping threads
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", server.port), timeout=2).close()
+
+
+class TestServerFailurePaths:
+    def test_worker_crash_surfaces_failure_report(self):
+        session = edit_session(
+            fault_plan=FaultPlan.parse("worker_start:crash:job-1#0"),
+            max_job_retries=0,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=5.0,
+        )
+        serving = ServingConfig(n_workers=2, batch_window=0.5)
+        tasks = [make_synthesis_task(length=3, seed=s) for s in (20, 21)]
+        with SynthesisServer(session, serving) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                victim = client.submit(tasks[0], budget=1500, seed=0)
+                bystander = client.submit(tasks[1], budget=1500, seed=0)
+                client.run([victim, bystander])
+        assert victim.state is JobState.FAILED
+        assert isinstance(victim.failure, FailureReport)
+        assert victim.failure.kind == "crash"
+        assert victim.failure.attempts == 1
+        assert victim.error
+        # the stream still settled with an observable terminal event
+        assert victim.events[-1].kind == "failed"
+        # the other job of the same batch is untouched
+        assert bystander.state in (JobState.SOLVED, JobState.EXHAUSTED)
+        assert bystander.result is not None
+
+    def test_bad_submit_releases_admission_slot(self):
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                with pytest.raises(RemoteError) as excinfo:
+                    client._request({"type": "submit", "task": {"target": [0]}})
+                assert excinfo.value.code == "bad_frame"
+                assert client.ping()["active_jobs"] == 0
+
+
+# ---------------------------------------------------------------------------
+# the L4 score tier
+# ---------------------------------------------------------------------------
+
+
+class _FakeTable:
+    """A stand-in L2 table: .get returning (value, cross) like the real one."""
+
+    def __init__(self, entries=None):
+        self.entries = dict(entries or {})
+
+    def get(self, key64):
+        value = self.entries.get(key64)
+        return None if value is None else (value, True)
+
+    def put(self, key64, value):
+        self.entries[key64] = value
+        return True
+
+
+class TestScorePool:
+    def test_put_get_and_stats(self):
+        pool = ScorePool()
+        assert pool.get(1) is None
+        pool.put(1, 0.5)
+        assert pool.get(1) == 0.5
+        assert pool.put_many([(2, 0.25), (3, 0.75)]) == 2
+        stats = pool.stats()
+        assert stats["entries"] == 3
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 3
+
+    def test_pool_falls_back_to_l2_table(self):
+        pool = ScorePool(table=_FakeTable({7: 0.125}))
+        assert pool.get(7) == 0.125  # answered from the table, cached in the pool
+        pool.attach_table(None)
+        assert pool.get(7) == 0.125  # now resident
+
+    def test_local_pool_tier_adapts(self):
+        pool = ScorePool()
+        tier = LocalPoolTier(pool)
+        tier.put(9, 1.5)
+        assert tier.get(9) == 1.5
+        assert pool.get(9) == 1.5
+
+
+class TestTieredRemote:
+    class _FakeRemote:
+        def __init__(self, entries=None):
+            self.entries = dict(entries or {})
+            self.puts = []
+
+        def get(self, key64):
+            return self.entries.get(key64)
+
+        def put(self, key64, value):
+            self.puts.append((key64, value))
+
+    def test_remote_hit_promotes_and_counts(self):
+        remote = self._FakeRemote()
+        cache = TieredScoreCache(capacity=16, namespace="score", remote=remote)
+        program = make_synthesis_task(length=3, seed=1).target
+        key, io_key = program.function_ids, ("io", 1)
+        remote.entries[cache._key64(key, io_key)] = 0.625
+        assert cache.get(program, io_key) == 0.625
+        assert cache.stats.remote_hits == 1
+        assert cache.stats.misses == 1  # the local miss that preceded it
+        # promoted to L1: the next lookup never asks the network again
+        remote.entries.clear()
+        assert cache.get(program, io_key) == 0.625
+        assert cache.stats.remote_hits == 1
+
+    def test_put_pushes_to_remote(self):
+        remote = self._FakeRemote()
+        cache = TieredScoreCache(capacity=16, namespace="score", remote=remote)
+        program = make_synthesis_task(length=3, seed=2).target
+        cache.put(program, ("io",), 0.5)
+        key64 = cache._key64(program.function_ids, ("io",))
+        assert remote.puts == [(key64, 0.5)]
+
+    def test_attach_remote_later(self):
+        cache = TieredScoreCache(capacity=16, namespace="score")
+        assert cache.remote is None
+        remote = self._FakeRemote()
+        cache.attach_remote(remote)
+        assert cache.remote is remote
+
+    def test_remote_hits_in_cache_stats_dict(self):
+        cache = TieredScoreCache(capacity=16, namespace="score")
+        assert cache.stats.to_dict()["remote_hits"] == 0
+
+
+class TestRemoteScoreTier:
+    def test_get_and_batched_put_against_live_server(self):
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            tier = RemoteScoreTier(server.address, push_batch_size=2, push_interval=0.05)
+            assert tier.get(42) is None  # cold pool
+            server.pool.put(42, 0.5)
+            assert tier.get(42) == 0.5
+            assert tier.hits == 1
+            tier.put(100, 1.0)
+            tier.put(101, 2.0)  # reaches push_batch_size -> flush
+            deadline = time.monotonic() + 10
+            while server.pool.get(101) is None and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert server.pool.get(100) == 1.0
+            assert server.pool.get(101) == 2.0
+            tier.close()
+            assert tier.puts_sent == 2
+
+    def test_close_flushes_pending_entries(self):
+        with SynthesisServer(edit_session(), SERVING_FAST) as server:
+            tier = RemoteScoreTier(server.address, push_batch_size=1000, push_interval=30.0)
+            tier.put(7, 0.25)
+            tier.close()  # far below the batch size: only close flushes it
+            assert server.pool.get(7) == 0.25
+
+    def test_dead_server_degrades_to_noop(self):
+        # bind-then-close to get a port with nothing listening
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        tier = RemoteScoreTier(f"127.0.0.1:{port}", timeout=0.5)
+        assert tier.get(1) is None  # never raises
+        assert tier.dead
+        tier.put(1, 0.5)  # no-op, no thread churn
+        tier.flush()
+        tier.close()
+
+    def test_parse_address_forms(self):
+        assert parse_address("127.0.0.1:7777") == ("127.0.0.1", 7777)
+        assert parse_address("[::1]:80") == ("::1", 80)
+        for bad in ("nohost", "host:", "host:notaport", ":1", "host:70000"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+
+class TestL4EndToEnd:
+    @pytest.fixture()
+    def trained_store(self, tiny_trace_artifacts, tiny_fp_artifacts):
+        return ArtifactStore(cf=tiny_trace_artifacts, fp=tiny_fp_artifacts)
+
+    def _session(self, config, store, **service_kwargs) -> SynthesisSession:
+        service_kwargs.setdefault("persist_caches", False)
+        return SynthesisSession(
+            config,
+            store,
+            methods=("netsyn_cf",),
+            service_config=ServiceConfig(**service_kwargs),
+        )
+
+    def test_second_session_records_remote_hits(
+        self, tiny_netsyn_config, trained_store, tiny_task
+    ):
+        with SynthesisServer(
+            self._session(tiny_netsyn_config, trained_store), SERVING_FAST
+        ) as server:
+            # client A drives the server, which publishes every score it
+            # computes into the served pool
+            with RemoteSynthesisSession(server.address) as client:
+                job = client.submit(tiny_task, budget=300, seed=3)
+                client.run([job])
+            assert server.pool.stats()["entries"] > 0
+
+            # client B: a *local* session over the same model, mounting
+            # the pool as its L4 tier
+            warm = self._session(
+                tiny_netsyn_config, trained_store, remote_score_cache=server.address
+            )
+            local_job = warm.submit(tiny_task, budget=300, seed=3)
+            warm.run([local_job])
+            tier = warm.remote_score_tier
+            assert tier is not None and not tier.dead
+            assert tier.hits > 0
+            # ... and the hits are folded into the job's event stream
+            assert sum(e.remote_hits for e in local_job.events) > 0
+            backend = warm.backend("netsyn_cf")
+            assert backend.backend._score_cache.stats.remote_hits == tier.hits
+            tier.close()
+
+    def test_remote_tier_attach_is_result_neutral(
+        self, tiny_netsyn_config, trained_store, tiny_task
+    ):
+        baseline = self._session(tiny_netsyn_config, trained_store)
+        cold = baseline.submit(tiny_task, budget=300, seed=3)
+        baseline.run([cold])
+
+        with SynthesisServer(
+            self._session(tiny_netsyn_config, trained_store), SERVING_FAST
+        ) as server:
+            with RemoteSynthesisSession(server.address) as client:
+                job = client.submit(tiny_task, budget=300, seed=3)
+                client.run([job])
+            warm = self._session(
+                tiny_netsyn_config, trained_store, remote_score_cache=server.address
+            )
+            warmed = warm.submit(tiny_task, budget=300, seed=3)
+            warm.run([warmed])
+            warm.remote_score_tier.close()
+
+        # identical outcome with and without the network tier: cached
+        # scores are deterministic per structural key
+        assert warmed.state is cold.state
+        assert (warmed.result.program is None) == (cold.result.program is None)
+        if cold.result.program is not None:
+            assert warmed.result.program == cold.result.program
+        assert warmed.result.candidates_used == cold.result.candidates_used
