@@ -499,6 +499,18 @@ class ServingConfig:
     #: honour ``shutdown`` frames from clients (tests and examples);
     #: production servers keep this off and stop from their own process
     allow_remote_shutdown: bool = False
+    #: directory of the crash-safe write-ahead job journal
+    #: (:mod:`repro.serving.journal`); ``None`` disables durability — a
+    #: crashed server then loses its in-flight and queued jobs
+    journal_dir: Optional[str] = None
+    #: journal size (bytes) past which a settle triggers compaction
+    journal_compact_bytes: int = 4 * 1024 * 1024
+    #: fsync every journal record (survives machine crash, not just
+    #: process death) at a per-record fsync cost
+    journal_fsync: bool = False
+    #: seconds a graceful drain (SIGTERM / ``request_drain``) waits for
+    #: running jobs before stopping anyway (leftovers stay journaled)
+    drain_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -522,6 +534,10 @@ class ServingConfig:
             raise ValueError("push_batch_size must be at least 1")
         if self.push_interval <= 0:
             raise ValueError("push_interval must be positive")
+        if self.journal_compact_bytes < 4096:
+            raise ValueError("journal_compact_bytes must be at least 4 KiB")
+        if self.drain_timeout < 0:
+            raise ValueError("drain_timeout must be non-negative")
 
     @property
     def address(self) -> str:

@@ -47,6 +47,7 @@ import atexit
 import enum
 import multiprocessing
 import pickle
+import re
 import shutil
 import tempfile
 import threading
@@ -681,12 +682,18 @@ class SynthesisSession:
         budget: Union[SearchBudget, int, None] = None,
         seed: int = 0,
         program_length: Optional[int] = None,
+        job_id: Optional[str] = None,
     ) -> SynthesisJob:
         """Enqueue one synthesis job (state ``PENDING``).
 
         ``budget`` may be a candidate count or a ``SearchBudget``; it
         defaults to the configuration's ``max_search_space``.  Jobs run
         when :meth:`run` is called (or :meth:`run_job` for one job).
+
+        ``job_id`` lets a caller re-admit a recovered job under its
+        original id (the serving journal does this after a server
+        restart); the default ``job-N`` counter always continues past any
+        explicit id of that shape, so fresh ids never collide.
         """
         method = method or self.methods[0]
         if method not in self.methods:
@@ -699,9 +706,17 @@ class SynthesisSession:
             limit = self.config.max_search_space
         else:
             limit = int(budget)
-        self._next_job_number += 1
+        if job_id is None:
+            self._next_job_number += 1
+            job_id = f"job-{self._next_job_number}"
+        else:
+            match = re.fullmatch(r"job-(\d+)", job_id)
+            if match:
+                self._next_job_number = max(
+                    self._next_job_number, int(match.group(1))
+                )
         job = SynthesisJob(
-            job_id=f"job-{self._next_job_number}",
+            job_id=job_id,
             method=method,
             task=task,
             seed=seed,

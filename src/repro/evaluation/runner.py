@@ -228,6 +228,7 @@ class EvaluationRunner:
         n_workers: int = 1,
         service_config: Optional[ServiceConfig] = None,
         remote_address: Optional[str] = None,
+        remote_submit_attempts: int = 6,
     ) -> None:
         self.experiment = (experiment or ExperimentConfig()).scaled()
         self.experiment.validate()
@@ -240,6 +241,10 @@ class EvaluationRunner:
         #: submitted there instead of through a local session, and no
         #: Phase-1 model is trained in this process at all
         self.remote_address = remote_address
+        #: total submit tries against an over-capacity/draining server
+        #: (the client waits the server-suggested ``retry_after`` between
+        #: tries); 1 = fail fast on the first rejection
+        self.remote_submit_attempts = int(remote_submit_attempts)
         self._context = context
         self._session: Optional[Any] = None
 
@@ -269,7 +274,10 @@ class EvaluationRunner:
             if self.remote_address:
                 from repro.serving.client import RemoteSynthesisSession
 
-                self._session = RemoteSynthesisSession(self.remote_address)
+                self._session = RemoteSynthesisSession(
+                    self.remote_address,
+                    submit_attempts=self.remote_submit_attempts,
+                )
             else:
                 self._session = SynthesisSession(
                     self.context.config,

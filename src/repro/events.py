@@ -33,6 +33,13 @@ terminal event that settles the stream of a job whose worker died before
 flushing its own.  Supervision events carry ``worker_id`` / ``attempt`` /
 ``reason`` where applicable.
 
+The serving layer adds **durability events**, likewise outside every
+job's own stream: ``"journal_record_skipped"`` (a torn or corrupt job
+journal record was skipped during recovery), ``"server_recovered"``
+(server-side: a restarted server finished re-admitting journaled jobs —
+carries the counts in ``reason``; client-side: an interrupted event
+stream successfully resumed after a reconnect).
+
 Listeners observe; they never steer the search — with one deliberate
 exception: a listener may raise :class:`JobCancelled` to abandon the run,
 which is how :class:`~repro.core.service.SynthesisJob` implements

@@ -18,12 +18,27 @@ processes (interactive sessions, evaluation runners) that submit jobs
 and/or mount the server's score pool so one client's NN forwards warm
 every other client.
 
+Durability (configure ``ServingConfig.journal_dir``): every admission
+and terminal outcome is appended to a crash-safe write-ahead
+:class:`~repro.serving.journal.JobJournal`; a killed server restarted on
+the same journal re-admits unfinished jobs under their original ids and
+answers idempotent resubmits from journaled results, while the
+self-healing client reconnects with backoff and resumes event streams
+gap-free via the ``since=`` cursor.
+
 Everything here is standard-library only (asyncio + sockets + json);
 importing ``repro.serving`` never pulls optional dependencies.
 """
 
 from repro.serving.cache_tier import LocalPoolTier, RemoteScoreTier, ScorePool
-from repro.serving.client import RemoteJob, RemoteSynthesisSession, ServerOverloaded
+from repro.serving.client import (
+    RemoteError,
+    RemoteJob,
+    RemoteSynthesisSession,
+    ServerOverloaded,
+    StreamTimeout,
+)
+from repro.serving.journal import JobJournal, JournalState
 from repro.serving.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.serving.server import SynthesisServer
 
@@ -33,8 +48,12 @@ __all__ = [
     "ScorePool",
     "LocalPoolTier",
     "RemoteScoreTier",
+    "RemoteError",
     "RemoteJob",
     "RemoteSynthesisSession",
     "ServerOverloaded",
+    "StreamTimeout",
+    "JobJournal",
+    "JournalState",
     "SynthesisServer",
 ]

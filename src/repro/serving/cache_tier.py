@@ -20,9 +20,11 @@ Three small pieces complete the cache hierarchy across host boundaries:
     falls through to after L1-L3 miss.  ``get`` is one synchronous
     request/response on a dedicated connection; ``put`` never blocks the
     search — entries are queued and a background thread flushes them as
-    batched ``cache_put`` frames.  Any network failure degrades the tier
-    to a no-op (logged once): a dead cache server slows clients down, it
-    never breaks them.
+    batched ``cache_put`` frames.  Network failures trip a half-open
+    circuit breaker: calls become cheap no-ops for a (doubling) cooldown,
+    then a single probe rechecks the server and a success re-enables the
+    tier — a dead cache server slows clients down and a restarted one is
+    picked back up, neither ever breaks a search.
 
 Determinism: cached scores are pure functions of ``(model, program,
 io_set)`` and the key64 space is namespaced per fitness kind, so serving
@@ -125,9 +127,16 @@ class RemoteScoreTier:
     trouble*; ``put`` enqueues and returns immediately — a background
     pusher thread batches entries into ``cache_put`` frames, flushing
     when ``push_batch_size`` entries are queued or the oldest entry is
-    ``push_interval`` seconds old.  The first failure marks the tier
-    dead: every later call is a cheap no-op and the search continues on
-    its local tiers alone.
+    ``push_interval`` seconds old.
+
+    Failures trip a **half-open circuit breaker** instead of killing the
+    tier forever: after a failure the breaker opens and every call is a
+    cheap no-op for ``breaker_cooldown`` seconds, then exactly one probe
+    request is let through (half-open).  A successful probe closes the
+    breaker — the tier is fully live again, surviving a cache-server
+    restart.  A failed probe re-opens it with the cooldown doubled (up
+    to ``breaker_cooldown_cap``), so a permanently-dead server costs one
+    cheap failed probe per cooldown, never a stalled search.
     """
 
     def __init__(
@@ -137,12 +146,16 @@ class RemoteScoreTier:
         push_batch_size: int = 128,
         push_interval: float = 0.25,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        breaker_cooldown: float = 1.0,
+        breaker_cooldown_cap: float = 30.0,
     ) -> None:
         self.host, self.port = parse_address(address)
         self.timeout = float(timeout)
         self.push_batch_size = int(push_batch_size)
         self.push_interval = float(push_interval)
         self.max_frame_bytes = int(max_frame_bytes)
+        self.breaker_cooldown = max(0.01, float(breaker_cooldown))
+        self.breaker_cooldown_cap = max(self.breaker_cooldown, float(breaker_cooldown_cap))
         self._sock: Optional[socket.socket] = None
         #: one lock serializes every request/response exchange — gets from
         #: the search thread and batched puts from the pusher share one
@@ -151,33 +164,84 @@ class RemoteScoreTier:
         self._queue: List[Tuple[int, float]] = []
         self._queue_lock = threading.Lock()
         self._queued_at: Optional[float] = None
-        self._dead = False
         self._closed = False
         self._wake = threading.Event()
         self._pusher: Optional[threading.Thread] = None
+        # circuit breaker (all fields guarded by _breaker_lock)
+        self._breaker_lock = threading.Lock()
+        self._open = False
+        self._probing = False
+        self._cooldown = self.breaker_cooldown
+        self._retry_at = 0.0
         # stats (read by tests and the benchmark)
         self.gets = 0
         self.hits = 0
         self.puts_queued = 0
         self.puts_sent = 0
+        self.breaker_opens = 0
+        self.breaker_closes = 0
 
     # ------------------------------------------------------------------
+    # circuit breaker
+
     @property
     def dead(self) -> bool:
-        return self._dead
+        """True while the breaker is open (unlike the name's history, no
+        longer permanent — a recovered server closes it again)."""
+        return self._open
 
-    def _die(self, error: Exception) -> None:
-        if not self._dead:
-            self._dead = True
-            logger.warning(
-                "remote score tier %s:%d degraded to no-op: %s", self.host, self.port, error
-            )
+    @property
+    def breaker_state(self) -> str:
+        with self._breaker_lock:
+            if not self._open:
+                return "closed"
+            if self._probing or time.monotonic() >= self._retry_at:
+                return "half-open"
+            return "open"
+
+    def _admit(self) -> bool:
+        """May a request go out?  Closed: yes.  Open: only the single
+        half-open probe once the cooldown elapsed."""
+        with self._breaker_lock:
+            if not self._open:
+                return True
+            if self._probing or time.monotonic() < self._retry_at:
+                return False
+            self._probing = True
+            return True
+
+    def _trip(self, error: Exception) -> None:
+        """A request failed: open (or re-open, doubling the cooldown)."""
+        with self._breaker_lock:
+            self._probing = False
+            if not self._open:
+                self.breaker_opens += 1
+                logger.warning(
+                    "remote score tier %s:%d breaker opened (%.2fs cooldown): %s",
+                    self.host, self.port, self._cooldown, error,
+                )
+            self._open = True
+            self._retry_at = time.monotonic() + self._cooldown
+            self._cooldown = min(self._cooldown * 2.0, self.breaker_cooldown_cap)
         sock, self._sock = self._sock, None
         if sock is not None:
             try:
                 sock.close()
             except OSError:
                 pass
+
+    def _reset(self) -> None:
+        """A request succeeded: close the breaker, restore the cooldown."""
+        with self._breaker_lock:
+            self._probing = False
+            if self._open:
+                self._open = False
+                self._cooldown = self.breaker_cooldown
+                self.breaker_closes += 1
+                logger.info(
+                    "remote score tier %s:%d breaker closed (server back)",
+                    self.host, self.port,
+                )
 
     def _connection(self) -> socket.socket:
         """The lazily-opened dedicated cache connection (io_lock held)."""
@@ -188,8 +252,9 @@ class RemoteScoreTier:
         return self._sock
 
     def _exchange(self, request: dict, want: str) -> Optional[dict]:
-        """One request/response round trip; None (and death) on failure."""
-        if self._dead or self._closed:
+        """One request/response round trip; None (and a tripped breaker)
+        on failure, None (cheaply) while the breaker holds requests."""
+        if self._closed or not self._admit():
             return None
         with self._io_lock:
             try:
@@ -197,11 +262,12 @@ class RemoteScoreTier:
                 protocol.send_frame(sock, request, self.max_frame_bytes)
                 response = protocol.recv_frame(sock, self.max_frame_bytes)
             except (OSError, protocol.ProtocolError) as error:
-                self._die(error)
+                self._trip(error)
                 return None
         if response.get("type") != want:
-            self._die(protocol.ProtocolError(f"expected {want!r}, got {response.get('type')!r}"))
+            self._trip(protocol.ProtocolError(f"expected {want!r}, got {response.get('type')!r}"))
             return None
+        self._reset()
         return response
 
     # ------------------------------------------------------------------
@@ -218,8 +284,9 @@ class RemoteScoreTier:
         return float(value)
 
     def put(self, key64: int, value: float) -> None:
-        """Queue one entry for the background pusher (never blocks)."""
-        if self._dead or self._closed:
+        """Queue one entry for the background pusher (never blocks).
+        Dropped while the breaker is open — puts are best-effort."""
+        if self._open or self._closed:
             return
         with self._queue_lock:
             self._queue.append((int(key64), float(value)))
@@ -245,7 +312,7 @@ class RemoteScoreTier:
         return batch
 
     def _push_loop(self) -> None:
-        while not self._closed and not self._dead:
+        while not self._closed:
             self._wake.wait(timeout=self.push_interval / 2)
             self._wake.clear()
             with self._queue_lock:
@@ -262,7 +329,7 @@ class RemoteScoreTier:
     def flush(self) -> None:
         """Push every queued entry now (also called by :meth:`close`)."""
         batch = self._drain()
-        if not batch or self._dead or self._closed:
+        if not batch or self._closed:
             return
         response = self._exchange(
             {"type": "cache_put", "entries": [[k, v] for k, v in batch]}, "cache_ok"

@@ -15,7 +15,14 @@ Request frames (client -> server)
 ``cache_get``  key (int64) -> ``cache_value``
 ``cache_put``  entries [[key, value], ...] -> ``cache_ok``
 ``ping``       -> ``pong``
+``health``     -> ``health`` (lifecycle state, queue depth, journal stats)
 ``shutdown``   -> ``bye`` (honoured only with ``allow_remote_shutdown``)
+
+``submit`` optionally carries an ``idempotency_key``: resubmitting the
+same key returns the original job (``submitted`` with ``duplicate``
+true) instead of admitting a second copy — on a journalling server the
+dedup survives restarts, so a client that lost the ack to a crash can
+safely retry.
 
 Response frames (server -> client)
 ----------------------------------
@@ -25,9 +32,13 @@ Response frames (server -> client)
 ``end``          terminal frame of an event stream (carries the job)
 ``cache_value``  score pool answer (``value`` is null on a miss)
 ``cache_ok``     count of accepted cache entries
+``health``       lifecycle state (``serving``/``draining``/``stopping``),
+                 uptime, queue depth, journaled-pending count, journal
+                 append/compaction counters
 ``error``        code (``bad_frame`` | ``unknown_job`` | ``over_capacity``
-                 | ``unknown_type`` | ``forbidden``) + message; an
-                 ``over_capacity`` error carries ``retry_after`` seconds
+                 | ``unknown_type`` | ``forbidden`` | ``server_draining``)
+                 + message; ``over_capacity`` and ``server_draining``
+                 errors carry ``retry_after`` seconds
 ``pong`` / ``bye``
 
 Every frame carries the protocol version under ``"v"`` on the wire;
@@ -115,11 +126,22 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket, max_frame_bytes: int = MAX_FRAME_BYTES) -> Dict[str, Any]:
-    (length,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
+def recv_frame(sock: socket.socket, max_frame_bytes: int = MAX_FRAME_BYTES,
+               prefix: bytes = b"") -> Dict[str, Any]:
+    """Receive one frame.  ``prefix`` holds bytes the caller already read
+    off the socket (a keepalive-timeout peek, see the client's idle-stream
+    handling) — they are consumed as the frame's leading bytes so framing
+    stays intact."""
+    header = prefix
+    if len(header) < _LENGTH.size:
+        header += _recv_exact(sock, _LENGTH.size - len(header))
+    (length,) = _LENGTH.unpack(header[: _LENGTH.size])
     if length > max_frame_bytes:
         raise ProtocolError(f"incoming frame of {length} bytes exceeds the {max_frame_bytes}-byte bound")
-    return decode_payload(_recv_exact(sock, length))
+    payload = header[_LENGTH.size :]
+    if len(payload) < length:
+        payload += _recv_exact(sock, length - len(payload))
+    return decode_payload(payload[:length])
 
 
 # -- asyncio side (the server) ----------------------------------------------

@@ -32,12 +32,29 @@ The server's own session publishes every score it computes into the
 served :class:`~repro.serving.cache_tier.ScorePool` (attached as its
 remote tier), so clients mounting the pool as their L4 tier are warmed
 by the server's work — and by each other's pushed-back scores.
+
+Durability (``ServingConfig.journal_dir``): every admission is appended
+to a crash-safe :class:`~repro.serving.journal.JobJournal` *before* the
+client sees ``submitted``, and every terminal outcome (and cancellation)
+is journaled when it happens.  A server killed at any instant — SIGKILL
+included — restarts on the same journal directory with nothing lost:
+unfinished jobs are re-admitted into the warm session under their
+original job ids and re-run (seeded synthesis is deterministic, so the
+regenerated event stream is the one the client was reading), settled
+jobs answer ``status``/``events``/idempotent resubmits straight from
+their journaled results, and a client that retries a ``submit`` under
+the same idempotency key after an ambiguous failure is deduplicated
+instead of double-running the task.  SIGTERM (via
+:meth:`install_sigterm_handler`) triggers a graceful drain: admissions
+stop (``server_draining`` errors), running jobs finish, and queued
+leftovers stay journaled for the next server run.
 """
 
 from __future__ import annotations
 
 import asyncio
 import queue
+import signal
 import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
@@ -47,6 +64,7 @@ from repro.core.service import JobState, SynthesisJob, SynthesisSession
 from repro.events import ProgressEvent
 from repro.serving import protocol
 from repro.serving.cache_tier import LocalPoolTier, ScorePool
+from repro.serving.journal import JobJournal
 from repro.utils.logging import get_logger
 
 logger = get_logger("serving.server")
@@ -91,6 +109,9 @@ class SynthesisServer:
         self._admission_lock = threading.Lock()
         self._queue: "queue.Queue[Optional[SynthesisJob]]" = queue.Queue()
         self._stopping = threading.Event()
+        #: set while draining: admissions and side requests answer
+        #: ``server_draining``; event streams of running jobs keep flowing
+        self._draining = threading.Event()
         self._started = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -98,6 +119,101 @@ class SynthesisServer:
         self._scheduler: Optional[threading.Thread] = None
         self._thread: Optional[threading.Thread] = None
         self.port: Optional[int] = None
+        self._started_at = time.monotonic()
+        #: count of quick (non-stream) dispatches currently answering;
+        #: shutdown waits briefly for this to reach zero so in-flight
+        #: side requests settle with a frame instead of a reset
+        self._busy = 0
+        # -- durability state (all journal-backed, empty without one) --
+        #: settled jobs answerable from the journal: job_id -> wire form
+        self._settled_wire: Dict[str, dict] = {}
+        #: idempotency dedup: client key -> job_id (live or settled)
+        self._key_to_job: Dict[str, str] = {}
+        #: live job_id -> its idempotency key (to journal the settle)
+        self._job_keys: Dict[str, Optional[str]] = {}
+        #: admitted-but-unsettled job ids present in the journal
+        self._journal_pending: set = set()
+        #: job ids re-admitted from the journal at startup
+        self.recovered_jobs: List[str] = []
+        #: recovery-time events (``server_recovered``,
+        #: ``journal_record_skipped``) — also appended to the session's
+        #: ``startup_events`` so attached listeners see them at next run
+        self.recovery_events: List[ProgressEvent] = []
+        self._journal: Optional[JobJournal] = None
+        if self.config.journal_dir:
+            self._journal = JobJournal(
+                self.config.journal_dir,
+                compact_bytes=self.config.journal_compact_bytes,
+                fsync=self.config.journal_fsync,
+            )
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # journal recovery (runs in __init__, before the server listens)
+
+    def _record_recovery_event(self, event: ProgressEvent) -> None:
+        self.recovery_events.append(event)
+        # session.startup_events flush to attached listeners at the next
+        # run, so server-side logs record the recovery too
+        self.session.startup_events.append(event)
+
+    def _recover(self) -> None:
+        """Replay the journal: re-admit unfinished jobs, index settled ones."""
+        assert self._journal is not None
+
+        def on_skip(reason: str) -> None:
+            self._record_recovery_event(
+                ProgressEvent(kind="journal_record_skipped", reason=reason)
+            )
+
+        state = self._journal.replay(on_skip=on_skip)
+        self._settled_wire = dict(state.settled)
+        self._key_to_job = dict(state.key_to_job)
+        for job_id, key in state.settled_keys.items():
+            self._job_keys.setdefault(job_id, key)
+        for job_id, admit in state.pending.items():
+            try:
+                task = protocol.task_from_wire(admit.get("task") or {})
+                job = self.session.submit(
+                    task,
+                    method=admit.get("method") or None,
+                    budget=admit.get("budget"),
+                    seed=int(admit.get("seed", 0)),
+                    program_length=admit.get("program_length"),
+                    job_id=job_id,
+                )
+            except (protocol.ProtocolError, KeyError, TypeError, ValueError) as error:
+                # an unfinished job whose admit record no longer parses is
+                # damage, not work: skip it like a torn record
+                on_skip(f"unrecoverable admit record for {job_id}: {error}")
+                continue
+            key = admit.get("idempotency_key")
+            self._job_keys[job.job_id] = str(key) if key else None
+            self._jobs[job.job_id] = job
+            self._streams[job.job_id] = _JobStream()
+            self._journal_pending.add(job.job_id)
+            self.recovered_jobs.append(job.job_id)
+            with self._admission_lock:
+                self._active += 1
+            if job_id in state.cancelled:
+                # the cancellation was journaled before the crash: honor
+                # it without re-running (pending jobs cancel immediately)
+                job.cancel()
+                self._settle(job)
+            else:
+                self._queue.put(job)
+        if self.recovered_jobs or state.skipped:
+            self._record_recovery_event(
+                ProgressEvent(
+                    kind="server_recovered",
+                    reason=(
+                        f"re-admitted {len(self.recovered_jobs)} unfinished job(s), "
+                        f"{len(self._settled_wire)} settled job(s) answerable from "
+                        f"the journal, {state.skipped} record(s) skipped"
+                    ),
+                )
+            )
+            logger.info("journal recovery: %s", self.recovery_events[-1].reason)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -147,21 +263,102 @@ class SynthesisServer:
 
     def _request_stop(self) -> None:
         """Initiate shutdown without joining (safe from any thread)."""
+        self._draining.set()  # in-flight side requests answer server_draining
         self._stopping.set()
         self._queue.put(None)
-        if self._loop is not None and self._main_task is not None:
+        if self._loop is not None:
             try:
-                self._loop.call_soon_threadsafe(self._main_task.cancel)
+                self._loop.call_soon_threadsafe(self._schedule_graceful_shutdown)
             except RuntimeError:  # loop already closed
                 pass
 
+    def _schedule_graceful_shutdown(self) -> None:
+        asyncio.ensure_future(self._graceful_shutdown())
+
+    async def _graceful_shutdown(self) -> None:
+        """Stop accepting, let in-flight quick dispatches answer, then die.
+
+        Side requests (``status``/``cancel``/``submit``) caught mid-flight
+        by the shutdown settle with a ``server_draining`` frame instead
+        of a bare connection reset; streams blocked waiting for events
+        are cancelled with the loop (their clients reconnect).
+        """
+        if self._server is not None:
+            self._server.close()
+        for _ in range(50):
+            if not self._busy:
+                break
+            await asyncio.sleep(0.01)
+        if self._main_task is not None:
+            self._main_task.cancel()
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (safe from any thread, idempotent).
+
+        Admissions and side requests start answering ``server_draining``;
+        the scheduler finishes the batch it is running and exits; queued
+        jobs that never ran stay journaled for the next server run (with
+        no journal they are settled as cancelled so no client hangs).
+        """
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        logger.info("drain requested: admissions stopped, running jobs finishing")
+        self._queue.put(None)
+
+    def drain_and_stop(self) -> None:
+        """Graceful SIGTERM path: drain, bounded wait, then stop.
+
+        Waits up to ``ServingConfig.drain_timeout`` for running jobs to
+        finish; whatever is still unfinished past that stays journaled
+        and the server stops anyway.
+        """
+        self.request_drain()
+        if self._scheduler is not None and self._scheduler is not threading.current_thread():
+            self._scheduler.join(timeout=self.config.drain_timeout)
+            if self._scheduler.is_alive():
+                logger.warning(
+                    "drain timed out after %.1fs; unfinished jobs stay journaled",
+                    self.config.drain_timeout,
+                )
+        self.stop()
+
+    def install_sigterm_handler(self) -> bool:
+        """Route SIGTERM to :meth:`drain_and_stop` (main thread only).
+
+        Returns False (and changes nothing) when not called from the
+        main thread — signal handlers can only be installed there.
+        """
+
+        def handler(signum: int, _frame: Any) -> None:
+            logger.info("SIGTERM: draining before shutdown")
+            # the drain blocks on running jobs; do it off the handler so
+            # the signal returns immediately
+            threading.Thread(
+                target=self.drain_and_stop, name="netsyn-serving-drain", daemon=True
+            ).start()
+
+        try:
+            signal.signal(signal.SIGTERM, handler)
+        except ValueError:  # not the main thread
+            return False
+        return True
+
     def stop(self) -> None:
-        """Shut down the server and join its threads (idempotent)."""
+        """Shut down the server and join its threads (idempotent).
+
+        Jobs still queued at the stop are settled as cancelled when the
+        server has no journal (so no client hangs); with one they stay
+        journaled as pending and the next server run re-admits them.
+        Use :meth:`drain_and_stop` to finish running jobs first.
+        """
         self._request_stop()
         if self._scheduler is not None and self._scheduler is not threading.current_thread():
             self._scheduler.join(timeout=30.0)
         if self._thread is not None and self._thread is not threading.current_thread():
             self._thread.join(timeout=30.0)
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self) -> "SynthesisServer":
         return self.start_background()
@@ -188,9 +385,28 @@ class SynthesisServer:
                 pass
 
     def _settle(self, job: SynthesisJob) -> None:
-        """Publish a job's terminal frame and release its admission slot."""
+        """Publish a job's terminal frame and release its admission slot.
+
+        With a journal, the terminal outcome is made durable *before*
+        subscribers see the end frame — a crash between the two costs a
+        re-delivery (the journaled result answers the resumed stream),
+        never a lost result.
+        """
         stream = self._streams.get(job.job_id)
         end = {"type": "end", "job": protocol.job_to_wire(job)}
+        if self._journal is not None:
+            try:
+                self._journal.settle(
+                    job.job_id, end["job"], idempotency_key=self._job_keys.get(job.job_id)
+                )
+            except OSError as error:  # journal on a full/broken disk:
+                logger.warning("journal settle of %s failed: %s", job.job_id, error)
+            self._settled_wire[job.job_id] = end["job"]
+            self._journal_pending.discard(job.job_id)
+            try:
+                self._journal.maybe_compact()
+            except OSError as error:
+                logger.warning("journal compaction failed: %s", error)
         if stream is not None:
             with stream.lock:
                 stream.terminal = end
@@ -229,7 +445,11 @@ class SynthesisServer:
                     break
                 batch.append(item)
             self._run_batch(batch)
-        # settle anything still queued so no client hangs on shutdown
+        # leftovers still queued: with a journal they stay pending on
+        # disk — the next server run re-admits them — so their work is
+        # never discarded; without one they are settled as cancelled so
+        # no client hangs on a stream that will never end
+        leftover = 0
         while True:
             try:
                 job = self._queue.get_nowait()
@@ -237,9 +457,16 @@ class SynthesisServer:
                 break
             if job is None:
                 continue
+            if self._journal is not None and not job.done:
+                leftover += 1
+                continue
             if not job.done:
                 job.state = JobState.CANCELLED
             self._settle(job)
+        if leftover:
+            logger.info(
+                "%d queued job(s) left journaled for the next server run", leftover
+            )
 
     def _run_batch(self, batch: List[SynthesisJob]) -> None:
         try:
@@ -289,16 +516,46 @@ class SynthesisServer:
 
     async def _dispatch(self, frame: dict, writer: asyncio.StreamWriter) -> bool:
         """Handle one request frame; True closes the connection."""
-        max_bytes = self.config.max_frame_bytes
         kind = frame.get("type")
+        if kind == "events":
+            # streams run long and must keep flowing during a drain so
+            # clients can finish reading their running jobs
+            await self._handle_events(frame, writer)
+            return False
+        self._busy += 1  # loop-thread only; shutdown waits for zero
+        try:
+            return await self._dispatch_quick(kind, frame, writer)
+        finally:
+            self._busy -= 1
+
+    async def _dispatch_quick(
+        self, kind: Any, frame: dict, writer: asyncio.StreamWriter
+    ) -> bool:
+        max_bytes = self.config.max_frame_bytes
+        if kind in ("submit", "status", "cancel") and (
+            self._draining.is_set() or self._stopping.is_set()
+        ):
+            # a draining server settles side requests with a structured
+            # answer, never a bare connection reset; clients retry
+            # against the restarted server (the journal keeps their jobs)
+            await protocol.write_frame(
+                writer,
+                protocol.error_frame(
+                    "server_draining",
+                    "server is draining; running jobs finish, queued jobs stay journaled",
+                    retry_after=self.config.retry_after,
+                ),
+                max_bytes,
+            )
+            return False
         if kind == "submit":
             await protocol.write_frame(writer, self._handle_submit(frame), max_bytes)
+        elif kind == "health":
+            await protocol.write_frame(writer, self._health_frame(), max_bytes)
         elif kind == "status":
             await protocol.write_frame(writer, self._job_frame(frame, cancel=False), max_bytes)
         elif kind == "cancel":
             await protocol.write_frame(writer, self._job_frame(frame, cancel=True), max_bytes)
-        elif kind == "events":
-            await self._handle_events(frame, writer)
         elif kind == "cache_get":
             key = frame.get("key")
             if not isinstance(key, int):
@@ -353,6 +610,37 @@ class SynthesisServer:
             )
         return False
 
+    def _health_frame(self) -> dict:
+        """The ``health`` answer: one frame summarizing server vitals."""
+        with self._admission_lock:
+            active = self._active
+        if self._stopping.is_set():
+            state = "stopping"
+        elif self._draining.is_set():
+            state = "draining"
+        else:
+            state = "serving"
+        journal = None
+        if self._journal is not None:
+            journal = {
+                "appends": self._journal.appends,
+                "compactions": self._journal.compactions,
+                "bytes": self._journal.size(),
+            }
+        return {
+            "type": "health",
+            "state": state,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "uptime": time.monotonic() - self._started_at,
+            "active_jobs": active,
+            "queue_depth": self._queue.qsize(),
+            "journaled_pending": len(self._journal_pending),
+            "settled_jobs": len(self._settled_wire),
+            "recovered_jobs": len(self.recovered_jobs),
+            "methods": list(self.session.methods),
+            "journal": journal,
+        }
+
     def _refresh_pool_table(self) -> None:
         """Back the pool by the session's L2 table once one exists (the
         table is created lazily at the session's first parallel run)."""
@@ -363,6 +651,25 @@ class SynthesisServer:
     # -- submit ---------------------------------------------------------
 
     def _handle_submit(self, frame: dict) -> dict:
+        key = frame.get("idempotency_key")
+        key = str(key) if key else None
+        if key is not None:
+            # dedup BEFORE the admission bound: answering for work the
+            # server already owns costs nothing and must never be
+            # rejected, or a retrying client could double-run its task
+            with self._registry_lock:
+                existing = self._key_to_job.get(key)
+            if existing is not None:
+                live = self._jobs.get(existing)
+                settled = self._settled_wire.get(existing)
+                method = live.method if live is not None else (settled or {}).get("method", "")
+                if live is not None or settled is not None:
+                    return {
+                        "type": "submitted",
+                        "job_id": existing,
+                        "method": method,
+                        "duplicate": True,
+                    }
         with self._admission_lock:
             if self._active >= self.config.max_pending_jobs:
                 return protocol.error_frame(
@@ -372,7 +679,8 @@ class SynthesisServer:
                 )
             self._active += 1
         try:
-            task = protocol.task_from_wire(frame.get("task") or {})
+            task_wire = frame.get("task") or {}
+            task = protocol.task_from_wire(task_wire)
             budget = frame.get("budget")
             program_length = frame.get("program_length")
             job = self.session.submit(
@@ -382,25 +690,60 @@ class SynthesisServer:
                 seed=int(frame.get("seed", 0)),
                 program_length=int(program_length) if program_length is not None else None,
             )
-        except (protocol.ProtocolError, KeyError, TypeError, ValueError) as error:
+            if self._journal is not None:
+                # durable before acknowledged: once the client sees
+                # ``submitted``, no crash may lose the admission
+                self._journal.admit(
+                    job.job_id,
+                    task_wire,
+                    method=job.method,
+                    budget=job.budget_limit,
+                    seed=job.seed,
+                    program_length=job.program_length,
+                    idempotency_key=key,
+                )
+                self._journal_pending.add(job.job_id)
+        except (protocol.ProtocolError, KeyError, TypeError, ValueError, OSError) as error:
             with self._admission_lock:
                 self._active -= 1
             return protocol.error_frame("bad_frame", f"rejected submit: {error}")
         with self._registry_lock:
             self._jobs[job.job_id] = job
             self._streams[job.job_id] = _JobStream()
+            self._job_keys[job.job_id] = key
+            if key is not None:
+                self._key_to_job[key] = job.job_id
         self._queue.put(job)
         return {"type": "submitted", "job_id": job.job_id, "method": job.method}
 
     # -- status / cancel ------------------------------------------------
 
     def _job_frame(self, frame: dict, cancel: bool) -> dict:
-        job = self._jobs.get(str(frame.get("job_id")))
+        job_id = str(frame.get("job_id"))
+        job = self._jobs.get(job_id)
         if job is None:
-            return protocol.error_frame("unknown_job", f"no job {frame.get('job_id')!r}")
+            # a job settled before a restart is still answerable — its
+            # terminal wire form was journaled with the settle
+            settled = self._settled_wire.get(job_id)
+            if settled is not None:
+                response = {"type": "job", "job": settled}
+                if cancel:
+                    response["accepted"] = settled.get("state") == JobState.CANCELLED.value
+                return response
+            return protocol.error_frame("unknown_job", f"no job {job_id!r}")
         response = {"type": "job", "job": None}
         if cancel:
+            was_terminal = job.done
             response["accepted"] = job.cancel()
+            if self._journal is not None and not was_terminal and not job.done:
+                # the job is live and now carries a cancel request: make
+                # the request durable so a crash before it lands still
+                # recovers the job as cancelled (terminal transitions
+                # are journaled by the settle itself)
+                try:
+                    self._journal.cancel(job.job_id)
+                except OSError as error:
+                    logger.warning("journal cancel of %s failed: %s", job.job_id, error)
         response["job"] = protocol.job_to_wire(job)
         return response
 
@@ -411,6 +754,14 @@ class SynthesisServer:
         job_id = str(frame.get("job_id"))
         stream = self._streams.get(job_id)
         if stream is None:
+            # a job that settled before a restart has no live stream, but
+            # its journaled terminal form still ends the client's wait
+            # (the intermediate events are not journaled — resuming after
+            # the settle yields the outcome, not a replay)
+            settled = self._settled_wire.get(job_id)
+            if settled is not None:
+                await protocol.write_frame(writer, {"type": "end", "job": settled}, max_bytes)
+                return
             await protocol.write_frame(
                 writer, protocol.error_frame("unknown_job", f"no job {job_id!r}"), max_bytes
             )
@@ -436,6 +787,13 @@ class SynthesisServer:
                 return
             while True:
                 event_frame = await live.get()
+                # a recovered job's re-run regenerates its stream from
+                # seq 0; a client resuming with since= from before the
+                # crash must not be re-sent events it already has —
+                # deliver only from its resume point (the regenerated
+                # events are identical: seeded synthesis is deterministic)
+                if event_frame.get("type") == "event" and event_frame.get("seq", 0) < since:
+                    continue
                 await protocol.write_frame(writer, event_frame, max_bytes)
                 if event_frame.get("type") == "end":
                     return

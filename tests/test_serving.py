@@ -417,7 +417,9 @@ class TestServerRoundTrip:
     def test_admission_rejection_with_retry_after(self):
         serving = ServingConfig(max_pending_jobs=1, batch_window=5.0, retry_after=0.75)
         with SynthesisServer(edit_session(), serving) as server:
-            with RemoteSynthesisSession(server.address) as client:
+            # submit_attempts=1 disables the client's automatic retry loop:
+            # this test asserts the raw rejection surface
+            with RemoteSynthesisSession(server.address, submit_attempts=1) as client:
                 first = client.submit(make_synthesis_task(length=3, seed=1), budget=200)
                 with pytest.raises(ServerOverloaded) as excinfo:
                     client.submit(make_synthesis_task(length=3, seed=2), budget=200)
