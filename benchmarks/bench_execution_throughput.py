@@ -18,14 +18,25 @@ Results (candidates/sec, speedups, cache hit-rate) are appended to
 ``BENCH_execution_throughput.json`` at the repository root so the
 trajectory across PRs is preserved.
 
+A second workload measures the **vectorized** columnar engine
+(:class:`~repro.execution.BatchExecutionEngine`) against the compiled
+per-candidate baseline on the population shape it was built for:
+many concurrent GA islands whose genes share crossover prefixes.  The
+vectorized engine is timed *cold* — a fresh engine with caching disabled
+every round, so every candidate is a cache miss — and must still beat
+the warm compiled path.
+
 Scale knobs: ``NETSYN_BENCH_PROGRAMS`` (distinct genes, default 60),
-``NETSYN_BENCH_ROUNDS`` (re-evaluations per gene, default 5).
+``NETSYN_BENCH_ROUNDS`` (re-evaluations per gene, default 5),
+``NETSYN_BENCH_ISLANDS`` x ``NETSYN_BENCH_ISLAND_SIZE`` (vectorized
+workload, default 10 x 100).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import time
 from pathlib import Path
 
@@ -33,13 +44,15 @@ import numpy as np
 
 from repro.dsl import Interpreter, Program, clear_compile_cache
 from repro.data import make_synthesis_task
-from repro.execution import ExecutionEngine
+from repro.execution import BatchExecutionEngine, EvaluationCache, ExecutionEngine
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 TRAJECTORY_PATH = REPO_ROOT / "BENCH_execution_throughput.json"
 
 N_PROGRAMS = int(os.environ.get("NETSYN_BENCH_PROGRAMS", "60"))
 N_ROUNDS = int(os.environ.get("NETSYN_BENCH_ROUNDS", "5"))
+N_ISLANDS = int(os.environ.get("NETSYN_BENCH_ISLANDS", "10"))
+ISLAND_SIZE = int(os.environ.get("NETSYN_BENCH_ISLAND_SIZE", "100"))
 PROGRAM_LENGTH = 5
 
 
@@ -52,6 +65,48 @@ def _workload(seed: int = 17):
     ]
     task = make_synthesis_task(length=PROGRAM_LENGTH, seed=seed)
     return programs, task.io_set
+
+
+def _island_workload(seed: int = 17, n_parents: int = 8, n_generations: int = 8):
+    """Concurrent GA islands mid-run: populations bred by crossover.
+
+    Each island evolves for a few generations from an ``n_parents``-elite
+    pool via single-cut crossover plus a 50% point mutation — the
+    population shape the GA engine hands to the batch executor once
+    islands have begun converging, where genes share crossover prefixes
+    and the columnar trie collapses them.  Real NetSyn runs go for
+    thousands of generations, so generation ``n_generations`` is still an
+    early, conservatively diverse population.
+    """
+    fids = list(range(1, 42))
+    programs = []
+    for island in range(N_ISLANDS):
+        rng = random.Random(100 + seed + island)
+        pool = [[rng.choice(fids) for _ in range(PROGRAM_LENGTH)] for _ in range(n_parents)]
+        for _ in range(n_generations):
+            generation = []
+            for _ in range(ISLAND_SIZE):
+                a, b = rng.sample(pool, 2)
+                cut = rng.randint(1, PROGRAM_LENGTH - 1)
+                child = a[:cut] + b[cut:]
+                if rng.random() < 0.5:
+                    child[rng.randrange(PROGRAM_LENGTH)] = rng.choice(fids)
+                generation.append(child)
+            pool = generation[:n_parents]
+        programs.extend(Program(tuple(child)) for child in generation)
+    task = make_synthesis_task(length=PROGRAM_LENGTH, seed=seed)
+    return programs, task.io_set
+
+
+def _checksum(outputs) -> int:
+    """Cheap value-sensitive digest of one candidate's example outputs."""
+    total = 0
+    for value in outputs:
+        if isinstance(value, int):
+            total += value
+        else:
+            total += sum(value) + len(value)
+    return total
 
 
 def _time_strategy(evaluate, programs, io_set) -> tuple:
@@ -153,3 +208,96 @@ def test_execution_throughput_compiled_and_cached():
         f"compiled+cached speedup {cached_speedup:.2f}x below the 3x target "
         f"(interpreted {interpreted_rate:.0f}/s vs cached {cached_rate:.0f}/s)"
     )
+
+
+def test_vectorized_cold_throughput_vs_compiled():
+    """Cold columnar batches vs the warm compiled per-candidate path.
+
+    The vectorized engine is rebuilt every round with caching disabled
+    (``max_entries=0``) so its hit-rate is exactly 0% — every candidate
+    is executed.  The compiled baseline keeps a warm compile cache, its
+    steady state inside a GA run.  The two strategies are interleaved
+    round-by-round and scored on their best round (``timeit``-style
+    minimum), so transient machine load cannot skew the ratio.  The gate
+    is deliberately one-sided: even with zero reuse the columnar engine
+    must not be slower than the per-candidate path it replaces.
+    """
+    programs, io_set = _island_workload()
+    n = len(programs)
+    rounds = max(1, N_ROUNDS)
+
+    clear_compile_cache()
+    fast = Interpreter(trace=False, compiled=True)
+
+    def compiled_outputs(program):
+        return [fast.output_of(program, example.inputs) for example in io_set]
+
+    def cold_engine():
+        return BatchExecutionEngine(cache=EvaluationCache(max_entries=0))
+
+    # warm both paths once (compile cache / numpy allocators), and use the
+    # warm pass to cross-check the two strategies value for value
+    check_compiled = sum(_checksum(compiled_outputs(program)) for program in programs)
+    check_vectorized = sum(
+        _checksum(outputs) for outputs in cold_engine().outputs_batch(programs, io_set)
+    )
+    assert check_compiled == check_vectorized, (
+        "vectorized outputs diverge from the compiled per-candidate path"
+    )
+
+    compiled_times: list = []
+    vectorized_times: list = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for program in programs:
+            compiled_outputs(program)
+        compiled_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        cold_engine().outputs_batch(programs, io_set)
+        vectorized_times.append(time.perf_counter() - start)
+
+    compiled_s, vectorized_s = min(compiled_times), min(vectorized_times)
+    compiled_rate = n / compiled_s
+    vectorized_rate = n / vectorized_s
+
+    vectorized_speedup = vectorized_rate / compiled_rate
+    unique = len({program.function_ids for program in programs})
+
+    print(
+        f"\nVectorized cold throughput ({N_ISLANDS} islands x {ISLAND_SIZE} genes, "
+        f"{unique} unique, best of {rounds} rounds x {len(io_set)} examples, "
+        f"length {PROGRAM_LENGTH})"
+    )
+    print(f"  compiled (warm) : {compiled_rate:10.0f} candidates/sec  ({compiled_s:.3f}s/round)")
+    print(
+        f"  vectorized cold : {vectorized_rate:10.0f} candidates/sec  "
+        f"({vectorized_s:.3f}s/round, {vectorized_speedup:.2f}x)"
+    )
+
+    _append_trajectory(
+        {
+            "benchmark": "vectorized_execution_throughput",
+            "n_islands": N_ISLANDS,
+            "island_size": ISLAND_SIZE,
+            "n_unique_programs": unique,
+            "n_rounds": rounds,
+            "n_examples": len(io_set),
+            "program_length": PROGRAM_LENGTH,
+            "compiled_candidates_per_sec": compiled_rate,
+            "vectorized_candidates_per_sec": vectorized_rate,
+            "vectorized_speedup": vectorized_speedup,
+        }
+    )
+
+    # CI gate: cold vectorized execution must never lose to the warm
+    # per-candidate compiled path it replaces
+    assert vectorized_speedup >= 1.0, (
+        f"cold vectorized throughput {vectorized_rate:.0f}/s below compiled "
+        f"{compiled_rate:.0f}/s ({vectorized_speedup:.2f}x)"
+    )
+    # acceptance (full GA-shaped scale only): >= 3x the compiled path
+    if n >= 1000:
+        assert vectorized_speedup >= 3.0, (
+            f"vectorized speedup {vectorized_speedup:.2f}x below the 3x target "
+            f"at full scale (n={n})"
+        )

@@ -206,6 +206,13 @@ class NetSynConfig:
     #: cached values are deterministic per (program, io_set), so sharing
     #: never changes results — it only turns repeat work into lookups
     share_evaluation_cache: bool = True
+    #: execute candidate populations through the columnar batch engine
+    #: (:class:`repro.execution.BatchExecutionEngine`): one vectorized
+    #: dispatch per unique (step, batch) with prefix sharing, instead of
+    #: one compiled call per (candidate, example).  Results are value-
+    #: and trace-identical to the serial path; ``False`` restores the
+    #: historical per-candidate engine (the bit-identity control)
+    vectorized: bool = True
 
     dsl: DSLConfig = field(default_factory=DSLConfig)
     ga: GAConfig = field(default_factory=GAConfig)

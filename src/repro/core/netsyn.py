@@ -35,7 +35,7 @@ from repro.dsl.equivalence import IOSet
 from repro.dsl.interpreter import Interpreter
 from repro.dsl.program import Program
 from repro.events import ProgressListener
-from repro.execution import ExecutionEngine, LRUCache, TieredScoreCache
+from repro.execution import BatchExecutionEngine, ExecutionEngine, LRUCache, TieredScoreCache
 from repro.fitness.base import FitnessFunction
 from repro.fitness.functions import (
     EditDistanceFitness,
@@ -195,6 +195,21 @@ class NetSynBackend(SynthesisBackend):
         return self.set_models(trace_artifacts=trace, fp_artifacts=fp)
 
     # ------------------------------------------------------------------
+    def _make_executor(self) -> ExecutionEngine:
+        """The run-shared execution engine this backend is configured for.
+
+        With ``config.vectorized`` the engine is the columnar
+        :class:`~repro.execution.BatchExecutionEngine`: the GA engine,
+        the fitness functions and the neighborhood search then evaluate
+        whole candidate batches in one vectorized pass.  Both engines
+        feed the same :class:`~repro.execution.EvaluationCache`, so
+        snapshots, deltas and every cache tier behave identically.
+        """
+        if self.config.vectorized:
+            return BatchExecutionEngine()
+        return ExecutionEngine()
+
+    # ------------------------------------------------------------------
     def _memo_sections(self) -> List[Tuple[str, Any, Callable[[bool], list]]]:
         """The live memo caches as uniform ``(section, cache, export)`` rows.
 
@@ -281,7 +296,7 @@ class NetSynBackend(SynthesisBackend):
             self._fp_map_cache().load(data["maps"])
         if "evaluation" in data and cfg.share_evaluation_cache:
             if self._shared_executor is None:
-                self._shared_executor = ExecutionEngine()
+                self._shared_executor = self._make_executor()
             self._shared_executor.cache.load_snapshot(data["evaluation"])
 
     def cache_version(self) -> int:
@@ -445,10 +460,10 @@ class NetSynBackend(SynthesisBackend):
         # per (program, io_set), so reuse cannot change results.
         if cfg.share_evaluation_cache:
             if self._shared_executor is None:
-                self._shared_executor = ExecutionEngine()
+                self._shared_executor = self._make_executor()
             executor = self._shared_executor
         else:
-            executor = ExecutionEngine()
+            executor = self._make_executor()
         fitness = self.build_fitness(target=target, executor=executor)
         fp_fitness = self._fp_fitness_for_mutation(executor=executor)
 

@@ -23,7 +23,8 @@ full traces) on hundreds of random programs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
 
 from repro.dsl.functions import DSLFunction, FunctionRegistry
 from repro.dsl.interpreter import ExecutionTrace, StepRecord
@@ -126,21 +127,35 @@ class CompiledProgram:
 
     # ------------------------------------------------------------------
     def output(self, inputs: Sequence[Value]) -> Value:
-        """Final output only — the hot path for solution checks."""
+        """Final output only — the hot path for solution checks.
+
+        Arities 1 and 2 (every function of the paper's 41-function
+        registry) take unrolled fast paths; any other arity — 0-ary
+        constants or ≥3-ary functions from an extended registry — falls
+        back to the generic argument loop :meth:`run` uses, so custom
+        DSL domains never crash the hot path.
+        """
         history = normalize_inputs(inputs)
         append = history.append
         out: Value = default_for(DSLType.INT)
         for step in self.steps:
             bindings = step.bindings
-            if len(bindings) == 1:
+            arity = len(bindings)
+            if arity == 1:
                 b0 = bindings[0]
                 a0 = history[b0] if b0 >= 0 else (step.defaults[0] if step.defaults[0] is not None else [])
                 out = step.impl(a0)
-            else:
+            elif arity == 2:
                 b0, b1 = bindings
                 a0 = history[b0] if b0 >= 0 else (step.defaults[0] if step.defaults[0] is not None else [])
                 a1 = history[b1] if b1 >= 0 else (step.defaults[1] if step.defaults[1] is not None else [])
                 out = step.impl(a0, a1)
+            else:
+                args = tuple(
+                    history[b] if b >= 0 else (d if d is not None else [])
+                    for b, d in zip(bindings, step.defaults)
+                )
+                out = step.impl(*args)
             append(out)
         return out
 
@@ -193,29 +208,34 @@ class CompiledProgram:
 # Module-level compilation cache
 # ---------------------------------------------------------------------------
 
-#: Bound on the number of cached compilations; oldest entries are evicted
-#: first (dict preserves insertion order).
+#: Bound on the number of cached compilations; least-recently-used entries
+#: are evicted first.
 COMPILE_CACHE_MAX = 65_536
 
-_compile_cache: Dict[Tuple, CompiledProgram] = {}
+_compile_cache: "OrderedDict[Tuple, CompiledProgram]" = OrderedDict()
 
 
 def compile_program(program: Program, signature: InputSignature) -> CompiledProgram:
     """Compile ``program`` for ``signature``, memoizing the result.
 
-    The cache key includes the registry's identity: the compiled steps
-    hold references to the registry's function implementations, which
-    also keeps the registry alive for the lifetime of the entry.
+    The cache is a true LRU: a hit refreshes the entry's recency, so the
+    GA's hottest genes (elites and survivors compiled thousands of times
+    per run) survive the eviction sweep while stale one-off compilations
+    are dropped first.  The cache key includes the registry's identity:
+    the compiled steps hold references to the registry's function
+    implementations, which also keeps the registry alive for the lifetime
+    of the entry.
     """
     key = (program.function_ids, signature, id(program.registry))
     cached = _compile_cache.get(key)
     if cached is not None:
+        _compile_cache.move_to_end(key)
         return cached
     compiled = CompiledProgram(program, signature)
     if len(_compile_cache) >= COMPILE_CACHE_MAX:
-        # evict the oldest ~25% in one sweep to amortize the cost
-        for stale in list(_compile_cache)[: COMPILE_CACHE_MAX // 4]:
-            del _compile_cache[stale]
+        # evict the least-recently-used ~25% in one sweep to amortize cost
+        for _ in range(max(1, COMPILE_CACHE_MAX // 4)):
+            _compile_cache.popitem(last=False)
     _compile_cache[key] = compiled
     return compiled
 

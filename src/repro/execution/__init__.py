@@ -19,9 +19,12 @@ from repro.execution.engine import ExecutionEngine, uncached_engine
 from repro.execution.faults import Fault, FaultInjected, FaultPlan
 from repro.execution.score_cache import LRUCache, ScoreCache, TieredScoreCache
 from repro.execution.shared_table import SharedScoreTable
+from repro.execution.vectorized import BatchExecutionEngine, ColumnarEvaluator
 
 __all__ = [
+    "BatchExecutionEngine",
     "CacheStats",
+    "ColumnarEvaluator",
     "EvaluationCache",
     "ExecutionEngine",
     "Fault",

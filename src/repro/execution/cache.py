@@ -118,6 +118,13 @@ class CacheStats:
             self.misses += 1
             self.by_namespace[namespace] = (h, m + 1)
 
+    def record_many(self, namespace: str, hits: int, misses: int) -> None:
+        """Bulk counterpart of :meth:`record` for batch lookups."""
+        h, m = self.by_namespace.get(namespace, (0, 0))
+        self.hits += hits
+        self.misses += misses
+        self.by_namespace[namespace] = (h + hits, m + misses)
+
     def to_dict(self) -> dict:
         return {
             "hits": self.hits,

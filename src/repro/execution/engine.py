@@ -86,15 +86,24 @@ class ExecutionEngine:
 
     # ------------------------------------------------------------------
     def outputs(self, program: Program, io_set: IOSet, io_key: Optional[Tuple] = None) -> Tuple[Value, ...]:
-        """Final output of ``program`` on every example of ``io_set``."""
+        """Final output of ``program`` on every example of ``io_set``.
+
+        A result derived from already-cached execution traces counts as a
+        cache *hit*: no execution happened, and the hit-rate feeding the
+        benchmarks and progress events must reflect executions avoided,
+        not which namespace happened to answer.
+        """
         key = (program_key(program), self.io_key(io_set) if io_key is None else io_key)
-        cached = self.cache.get(_NS_OUTPUTS, key)
+        cached = self.cache.peek(_NS_OUTPUTS, key)
         if cached is not None:
+            self.cache.stats.record(_NS_OUTPUTS, hit=True)
             return cached
         traces = self.cache.peek(_NS_TRACES, key)
         if traces is not None:
+            self.cache.stats.record(_NS_OUTPUTS, hit=True)
             outputs = tuple(trace.output for trace in traces)
         else:
+            self.cache.stats.record(_NS_OUTPUTS, hit=False)
             outputs = tuple(self._execute_output(program, example.inputs) for example in io_set)
         self.cache.put(_NS_OUTPUTS, key, outputs)
         return outputs

@@ -120,15 +120,32 @@ class LearnedTraceFitness(FitnessFunction):
         :attr:`score_cache` (see :meth:`score`).
         """
         io_key = self.executor.io_key(io_set)
-        samples: List[FitnessSample] = []
-        for program in programs:
+        samples: List[Optional[FitnessSample]] = [None] * len(programs)
+        pending: List[int] = []
+        for index, program in enumerate(programs):
             key = (program_key(program), io_key)
             sample = self._sample_cache.get(key, namespace="samples")
             if sample is None:
-                traces = self.executor.traces(program, io_set, io_key=io_key)
+                pending.append(index)
+            else:
+                samples[index] = sample
+        if pending:
+            # batch-capable executors collect every missing trace in one
+            # columnar pass; traces land in the shared evaluation cache
+            # exactly as the per-program path would store them
+            if getattr(self.executor, "is_batch", False):
+                traces_list = self.executor.traces_batch(
+                    [programs[i] for i in pending], io_set, io_key=io_key
+                )
+            else:
+                traces_list = [
+                    self.executor.traces(programs[i], io_set, io_key=io_key) for i in pending
+                ]
+            for index, traces in zip(pending, traces_list):
+                program = programs[index]
                 sample = sample_from_execution(program, io_set, traces)
-                self._sample_cache.put(key, sample)
-            samples.append(sample)
+                self._sample_cache.put((program_key(program), io_key), sample)
+                samples[index] = sample
         return samples
 
     def _forward_samples(self, samples: Sequence[FitnessSample], pad_singletons: bool) -> np.ndarray:
@@ -269,18 +286,34 @@ class EditDistanceFitness(FitnessFunction):
     def score(self, programs: Sequence[Program], io_set: IOSet) -> np.ndarray:
         io_key = self.executor.io_key(io_set)
         scores = np.zeros(len(programs))
+        pending: List[int] = []
         for index, program in enumerate(programs):
             cached = self.executor.get_cached("score:edit", program, io_key)
             if cached is None:
-                outputs = self.executor.outputs(program, io_set, io_key=io_key)
-                cached = float(
+                pending.append(index)
+            else:
+                scores[index] = cached
+        if pending:
+            # batch-capable executors evaluate every unscored candidate in
+            # one columnar pass; either way outputs come from (and land in)
+            # the same evaluation cache the GA's solution check uses
+            if getattr(self.executor, "is_batch", False):
+                outputs_list = self.executor.outputs_batch(
+                    [programs[i] for i in pending], io_set, io_key=io_key
+                )
+            else:
+                outputs_list = [
+                    self.executor.outputs(programs[i], io_set, io_key=io_key) for i in pending
+                ]
+            for index, outputs in zip(pending, outputs_list):
+                value = float(
                     sum(
                         1.0 / (1.0 + output_edit_distance(output, example.output))
                         for output, example in zip(outputs, io_set)
                     )
                 )
-                self.executor.put_cached("score:edit", program, io_key, cached)
-            scores[index] = cached
+                self.executor.put_cached("score:edit", programs[index], io_key, value)
+                scores[index] = value
         return scores
 
 

@@ -15,7 +15,7 @@ candidate programs exactly as the paper's metric does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -180,12 +180,35 @@ class GeneticAlgorithm:
         # baseline for per-run cache-counter deltas in progress events
         self._stats_base = self._cache_counters()
 
+        # Batch-capable executors check candidates population-at-a-time:
+        # candidates are created first (same rng draw order as the serial
+        # path), then verified in one columnar pass, and the verdicts are
+        # consumed in creation order with identical budget semantics —
+        # found/generations/candidates_used match the serial path exactly.
+        batch = getattr(self.executor, "is_batch", False)
+
         # -- initial population ------------------------------------------------
         members: List[Program] = []
-        for _ in range(cfg.population_size):
-            gene = self.operators.random_gene()
-            members.append(gene)
-            verdict = self._charge_and_check(gene, io_set, budget)
+        staged_genes: Optional[List[Program]] = None
+        staged_verdicts: List[bool] = []
+        if batch:
+            staged_genes = [self.operators.random_gene() for _ in range(cfg.population_size)]
+            chargeable = staged_genes[: budget.remaining]
+            if chargeable:
+                staged_verdicts = self.executor.satisfies_batch(chargeable, io_set)
+        for k in range(cfg.population_size):
+            if staged_genes is not None:
+                gene = staged_genes[k]
+                members.append(gene)
+                if budget.exhausted:
+                    verdict = None
+                else:
+                    budget.charge(1)
+                    verdict = staged_verdicts[k]
+            else:
+                gene = self.operators.random_gene()
+                members.append(gene)
+                verdict = self._charge_and_check(gene, io_set, budget)
             if verdict:
                 return EvolutionResult(
                     found=True,
@@ -253,15 +276,17 @@ class GeneticAlgorithm:
             # -- build the next generation ------------------------------------
             next_members: List[Program] = population.top(cfg.elite_count)
             scores = population.scores
-            while len(next_members) < cfg.population_size:
+
+            def spawn_child() -> Tuple[Program, bool]:
+                """One selection draw: a (child, is_newly_created) pair."""
                 draw = self.rng.random()
                 if draw < cfg.crossover_rate:
                     parents = roulette_wheel_indices(scores, 2, self.rng)
                     child = self.operators.crossover(
                         population[int(parents[0])], population[int(parents[1])]
                     )
-                    is_new = True
-                elif draw < cfg.crossover_rate + cfg.mutation_rate:
+                    return child, True
+                if draw < cfg.crossover_rate + cfg.mutation_rate:
                     parent = int(roulette_wheel_indices(scores, 1, self.rng)[0])
                     gene = population[parent]
                     position_scores = (
@@ -272,14 +297,34 @@ class GeneticAlgorithm:
                         probability_map=probability_map,
                         position_scores=position_scores,
                     )
-                    is_new = True
-                else:
-                    parent = int(roulette_wheel_indices(scores, 1, self.rng)[0])
-                    child = population[parent]
-                    is_new = False
+                    return child, True
+                parent = int(roulette_wheel_indices(scores, 1, self.rng)[0])
+                return population[parent], False
 
+            # batch path: stage the whole brood (same draws, same order),
+            # solution-check the chargeable newcomers in one columnar pass
+            staged = None
+            verdicts: List[bool] = []
+            consumed = 0
+            if batch:
+                brood = [spawn_child() for _ in range(cfg.population_size - len(next_members))]
+                fresh = [child for child, is_new in brood if is_new]
+                chargeable = fresh[: budget.remaining]
+                if chargeable:
+                    verdicts = self.executor.satisfies_batch(chargeable, io_set)
+                staged = iter(brood)
+            while len(next_members) < cfg.population_size:
+                child, is_new = next(staged) if staged is not None else spawn_child()
                 if is_new:
-                    verdict = self._charge_and_check(child, io_set, budget)
+                    if staged is not None:
+                        if budget.exhausted:
+                            verdict = None
+                        else:
+                            budget.charge(1)
+                            verdict = verdicts[consumed]
+                            consumed += 1
+                    else:
+                        verdict = self._charge_and_check(child, io_set, budget)
                     if verdict:
                         return EvolutionResult(
                             found=True,

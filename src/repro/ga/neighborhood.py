@@ -110,17 +110,58 @@ class NeighborhoodSearch:
         self.stats.candidates_examined += 1
         return self.executor.satisfies(candidate, io_set)
 
+    def _prefetch_verdicts(
+        self, candidates: Sequence[Program], io_set: IOSet, budget: SearchBudget
+    ) -> Optional[List[bool]]:
+        """Batch-verify the chargeable prefix of ``candidates`` up front.
+
+        A neighborhood is the ideal columnar batch — every candidate
+        shares its prefix with the gene it came from — so batch-capable
+        executors check the whole sweep in one vectorized pass.  Only as
+        many candidates as the budget still allows are verified: those
+        are exactly the ones the serial loop would have executed, so
+        cache contents and counters match the per-candidate path.
+        """
+        if not getattr(self.executor, "is_batch", False):
+            return None
+        chargeable = list(candidates)[: budget.remaining]
+        if not chargeable:
+            return []
+        return self.executor.satisfies_batch(chargeable, io_set)
+
+    def _verdict_at(
+        self,
+        verdicts: Optional[List[bool]],
+        index: int,
+        candidate: Program,
+        io_set: IOSet,
+        budget: SearchBudget,
+    ) -> bool:
+        """Charge one candidate, answering from the prefetched verdicts."""
+        if budget.exhausted:
+            return False
+        budget.charge(1)
+        self.stats.candidates_examined += 1
+        if verdicts is not None and index < len(verdicts):
+            return verdicts[index]
+        return self.executor.satisfies(candidate, io_set)
+
     # ------------------------------------------------------------------
     def _search_bfs(
         self, genes: Sequence[Program], io_set: IOSet, budget: SearchBudget
     ) -> Optional[Program]:
         for gene in genes:
-            for position in range(len(gene)):
-                for candidate in self._neighbors_at(gene, position):
-                    if budget.exhausted:
-                        return None
-                    if self._check(candidate, io_set, budget):
-                        return candidate
+            candidates = [
+                candidate
+                for position in range(len(gene))
+                for candidate in self._neighbors_at(gene, position)
+            ]
+            verdicts = self._prefetch_verdicts(candidates, io_set, budget)
+            for index, candidate in enumerate(candidates):
+                if budget.exhausted:
+                    return None
+                if self._verdict_at(verdicts, index, candidate, io_set, budget):
+                    return candidate
         return None
 
     def _search_dfs(
@@ -130,10 +171,11 @@ class NeighborhoodSearch:
             current = gene
             for position in range(len(current)):
                 neighborhood = self._neighbors_at(current, position)
-                for candidate in neighborhood:
+                verdicts = self._prefetch_verdicts(neighborhood, io_set, budget)
+                for index, candidate in enumerate(neighborhood):
                     if budget.exhausted:
                         return None
-                    if self._check(candidate, io_set, budget):
+                    if self._verdict_at(verdicts, index, candidate, io_set, budget):
                         return candidate
                 # descend: adopt the best-scoring neighbor at this depth
                 scores = self.fitness.score(neighborhood, io_set)

@@ -112,6 +112,30 @@ class TestCompiledExecution:
             trace = compiled.run(inputs, trace=True)
             assert compiled.intermediate_outputs(inputs) == trace.intermediate_outputs
 
+    def test_compile_cache_is_lru_not_fifo(self, monkeypatch):
+        # a cache hit must refresh recency: the GA's hottest genes
+        # (elites compiled thousands of times) have to survive the
+        # eviction sweep while stale one-off compilations are dropped
+        from repro.dsl import compiler as compiler_mod
+
+        clear_compile_cache()
+        monkeypatch.setattr(compiler_mod, "COMPILE_CACHE_MAX", 4)
+        signature = input_signature([[1, 2]])
+        hot = Program([1])
+        cold = [Program([fid]) for fid in (2, 3, 4)]
+        hot_compiled = compile_program(hot, signature)
+        cold_compiled = [compile_program(program, signature) for program in cold]
+        # touch the oldest entry: under LRU it becomes the most recent
+        assert compile_program(hot, signature) is hot_compiled
+        # overflow: the sweep evicts the least-recently-used entry,
+        # which now is the untouched first cold program — not the hot gene
+        compile_program(Program([5]), signature)
+        assert compile_program(hot, signature) is hot_compiled
+        assert compiler_mod.compile_cache_size() <= 4
+        # the swept-out cold program recompiles to a fresh object
+        assert compile_program(cold[0], signature) is not cold_compiled[0]
+        clear_compile_cache()
+
 
 class TestInterpreterNoTraceMode:
     def test_no_trace_run_allocates_no_step_records(self, example_program, example_input):
@@ -199,6 +223,24 @@ class TestExecutionEngine:
         traces = engine.traces(program, tiny_task.io_set)
         outputs = engine.outputs(program, tiny_task.io_set)
         assert outputs == tuple(t.output for t in traces)
+
+    def test_trace_derived_outputs_count_as_hits(self, tiny_task):
+        # deriving outputs from already-cached traces avoids an execution,
+        # so it must be recorded as an outputs-namespace *hit*: the
+        # hit-rate feeding benchmarks and progress events counts
+        # executions avoided, not which namespace answered
+        engine = ExecutionEngine()
+        program = tiny_task.target
+        engine.traces(program, tiny_task.io_set)
+        hits_before = engine.stats.hits
+        misses_before = engine.stats.misses
+        engine.outputs(program, tiny_task.io_set)
+        assert engine.stats.hits == hits_before + 1
+        assert engine.stats.misses == misses_before
+        # a genuinely cold program still records an outputs miss
+        cold = Program([1, 2])
+        engine.outputs(cold, tiny_task.io_set)
+        assert engine.stats.misses == misses_before + 1
 
     def test_engine_agrees_with_reference_interpreter(self, tiny_task):
         rng = np.random.default_rng(11)
