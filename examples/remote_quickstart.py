@@ -7,10 +7,15 @@ both roles — a :class:`~repro.serving.SynthesisServer` wrapping a warm
 session, and the clients talking to it over real localhost sockets — to
 demonstrate the serving-layer guarantees:
 
-1. **Concurrent remote clients** — two clients connect at once, each
-   submitting its own task and streaming its own ordered per-job event
-   feed (``started`` … ``generation`` … ``finished``) over the wire while
-   the server coalesces both submissions into one batch.
+1. **Concurrent remote clients, fused** — two clients connect at once,
+   each submitting its own task and streaming its own ordered per-job
+   event feed (``started`` … ``generation`` … ``finished``) over the
+   wire while the server coalesces both submissions into one batch.
+   The tasks share their example inputs (with distinct IO sets), and
+   the server runs with ``ServingConfig.fuse_jobs``: both jobs'
+   population batches ride the same columnar kernel dispatches, and the
+   nonzero ``fused_dispatches`` counters on the streamed generation
+   events prove the sharing happened without disturbing either stream.
 2. **Stream parity** — the remotely streamed events are the *same
    events* a local session emits: the saved log is byte-compatible with
    ``EventLog`` JSON from any other example.
@@ -35,8 +40,30 @@ from repro import NetSynConfig, ServiceConfig, SynthesisService
 from repro.config import ServingConfig
 from repro.core.service import JobState
 from repro.data import make_synthesis_task
+from repro.data.tasks import SynthesisTask
+from repro.dsl.equivalence import make_io_set
+from repro.dsl.interpreter import Interpreter
 from repro.events import EventLog
 from repro.serving import RemoteSynthesisSession, SynthesisServer
+
+
+def make_fusable_tasks(config: NetSynConfig) -> list:
+    """Two tasks over identical example inputs with distinct IO sets.
+
+    Shared inputs are the fusion-eligibility condition: the server can
+    only merge jobs whose populations evaluate against the same packed
+    input columns.  The second task keeps its own target (and therefore
+    its own outputs), which is what keeps every cache key disjoint and
+    the per-job counters exact.
+    """
+    base = make_synthesis_task(length=4, seed=101, dsl_config=config.dsl)
+    inputs = [example.inputs for example in base.io_set]
+    other = make_synthesis_task(length=4, seed=103, dsl_config=config.dsl)
+    io = make_io_set(other.target, inputs, Interpreter(trace=False))
+    return [
+        base,
+        SynthesisTask(other.target, io, 4, other.is_singleton, "task-len4-seed103-fused"),
+    ]
 
 
 def main() -> None:
@@ -53,10 +80,12 @@ def main() -> None:
     session = service.open_session(methods=("netsyn_cf",))
     print(f"  session ready in {time.time() - start:.1f}s (artifacts: {session.store.names()})")
 
-    tasks = [make_synthesis_task(length=4, seed=s, dsl_config=config.dsl) for s in (101, 103)]
+    tasks = make_fusable_tasks(config)
     log = EventLog()
 
-    with SynthesisServer(session, ServingConfig(batch_window=0.25)) as server:
+    with SynthesisServer(
+        session, ServingConfig(batch_window=0.5, fuse_jobs=True)
+    ) as server:
         print(f"\nPhase 2: serving on {server.address}; driving 2 concurrent clients ...")
         start = time.time()
         finished: dict = {}
@@ -86,7 +115,15 @@ def main() -> None:
             assert len({event.job_id for event in job.events}) == 1, "streams crossed"
             print(f"  client {index}: {job.job_id} {job.state.value} "
                   f"({len(job.events)} events streamed over the wire)")
+        fused = {
+            index: max(event.fused_dispatches for event in job.events)
+            for index, job in finished.items()
+        }
+        assert all(count > 0 for count in fused.values()), (
+            f"expected both jobs to share kernel dispatches, got {fused}"
+        )
         print(f"  both clients served in {elapsed:.1f}s; "
+              f"fused kernel dispatches per job: {sorted(fused.values())}; "
               f"server pool now holds {server.pool.stats()['entries']} scores")
         assert server.pool.stats()["entries"] > 0, "the server session published no scores"
 

@@ -321,11 +321,14 @@ class ServiceConfig:
     #: L2 tier: share a lock-free mmap score table (shared_scores.bin,
     #: next to the packed weights) across the parent and every worker of
     #: a parallel run, so one worker's NN forward serves all others while
-    #: a job is still running.  Off by default: values are deterministic
-    #: per structural key so results cannot change, but per-event cache
-    #: counters can differ from a serial run when jobs overlap.  Requires
-    #: ``shared_weights`` (the table lives in the shared segment dir).
-    shared_score_table: bool = False
+    #: a job is still running.  On by default: values are deterministic
+    #: per structural key so results are bit-identical to serial runs;
+    #: the per-event cache *counters* are advisory under sharing (which
+    #: worker scores a pair first depends on scheduling, so hit/miss
+    #: trajectories can differ run to run — see docs/execution.md).
+    #: Requires ``shared_weights`` (the table lives in the shared
+    #: segment dir).
+    shared_score_table: bool = True
     #: slot count of the shared score table (power of two; 64 B per slot)
     table_slots: int = 1 << 16
     #: coalesce worker progress events into batches of this size before
@@ -353,6 +356,11 @@ class ServiceConfig:
     persist_caches: bool = True
     #: budget charges between two "candidates" progress events
     progress_every: int = 50
+    #: fuse concurrent same-inputs jobs of one ``run()`` call into shared
+    #: columnar kernel dispatches (see :mod:`repro.execution.fusion`).
+    #: Results, per-job events and budget charges are unchanged; progress
+    #: events additionally carry a ``fused_dispatches`` counter
+    fuse_jobs: bool = False
     #: most recent events retained on each job (older ones are dropped so
     #: paper-scale budgets cannot grow job.events without bound)
     max_events_per_job: int = 10_000
@@ -518,6 +526,11 @@ class ServingConfig:
     #: seconds a graceful drain (SIGTERM / ``request_drain``) waits for
     #: running jobs before stopping anyway (leftovers stay journaled)
     drain_timeout: float = 30.0
+    #: fuse co-admitted jobs that share example inputs into the same
+    #: columnar kernel dispatches (forwarded to the session's
+    #: ``ServiceConfig.fuse_jobs``); per-job results, event streams and
+    #: budget charges are unchanged — see docs/serving.md
+    fuse_jobs: bool = False
 
     def __post_init__(self) -> None:
         self.validate()

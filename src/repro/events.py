@@ -104,6 +104,10 @@ class ProgressEvent:
     #: attached — see ``repro.serving``); every remote hit is also an
     #: L1/L2 miss, mirroring how ``shared_hits`` relate to ``cache_hits``
     remote_hits: int = 0
+    #: kernel dispatches this job shared with concurrent same-inputs
+    #: jobs so far (zero unless ``fuse_jobs`` is on — see
+    #: ``repro.execution.fusion``); cumulative, not per-generation
+    fused_dispatches: int = 0
     #: outcome fields ("finished" events only)
     found: Optional[bool] = None
     found_by: str = ""
@@ -137,6 +141,7 @@ class ProgressEvent:
             "shared_hits": self.shared_hits,
             "shared_cross_hits": self.shared_cross_hits,
             "remote_hits": self.remote_hits,
+            "fused_dispatches": self.fused_dispatches,
             "found": self.found,
             "found_by": self.found_by,
             "worker_id": self.worker_id,

@@ -1,0 +1,290 @@
+"""Cross-job batch fusion: one columnar plane shared by concurrent jobs.
+
+The serving scheduler's micro-batch window co-admits several jobs into
+one ``session.run`` call, but each job's populations used to dispatch
+their own kernels even when every job evaluated against the *same
+example inputs* (the shape of many clients synthesizing over one
+dataset).  This module merges those per-job population batches into
+shared kernel dispatches:
+
+:class:`FusionPlane`
+    The rendezvous point.  It owns one persistent
+    :class:`~repro.execution.vectorized.ColumnarEvaluator` over the
+    shared inputs; concurrent jobs submit their pending population
+    batches and a short rendezvous window combines same-kind requests
+    into one evaluator call — one trie walk, one set of kernel
+    dispatches — before splitting the results back per job.
+
+:class:`FusedBatchEngine`
+    A per-job :class:`~repro.execution.vectorized.BatchExecutionEngine`
+    whose multi-program evaluations route through the plane.  Cache
+    lookups read through the backend's shared evaluation cache via an
+    overlay (:class:`_OverlayCache`): reads see warm pre-existing
+    entries, writes stay job-private until the session merges them back
+    in admission order.
+
+Per-job accounting stays exact by construction:
+
+* **row ownership** is positional — job ``i`` contributed programs
+  ``[offset_i, offset_i + n_i)`` of a combined call and receives exactly
+  those result rows, so budget charges and solution checks are per-job;
+* **cache accounting** — the session only fuses jobs with identical
+  inputs but *distinct* IO sets, so every cache key (always
+  ``(program, io_key)``) is disjoint across fused jobs and each job's
+  overlay counters equal what an unfused run would have recorded;
+* **events and cancellation** — each job runs its own thread with its
+  own listener; a cancelled job simply leaves the plane
+  (:meth:`FusionPlane.unregister`), and the remaining jobs keep fusing
+  among themselves.
+
+Results are bit-identical to unfused runs: a combined evaluation is the
+same columnar pass over the union trie, and every per-job value is a
+deterministic function of ``(program, io_set)``.  The only observable
+delta is the ``fused_dispatches`` counter on progress events.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.dsl.equivalence import IOSet
+from repro.dsl.program import Program
+from repro.dsl.types import Value
+from repro.execution.cache import EvaluationCache, freeze_value
+from repro.execution.vectorized import BatchExecutionEngine, ColumnarEvaluator
+
+_MISSING = object()
+
+
+def inputs_key(example_inputs: Sequence[Sequence[Value]]) -> Tuple:
+    """Structural identity of a task's example inputs (outputs excluded).
+
+    Jobs whose IO sets share this key evaluate every program over the
+    same packed columns, which is exactly the condition for their kernel
+    dispatches to fuse.
+    """
+    return tuple(
+        tuple(freeze_value(value) for value in inputs) for inputs in example_inputs
+    )
+
+
+class FusionPlane:
+    """Combines concurrent jobs' population batches into shared dispatches.
+
+    Lifecycle: the session :meth:`register`\\ s one token per fused job,
+    each job's engine calls :meth:`evaluate` per population batch, and
+    the job's ``finally`` block :meth:`unregister`\\ s — which is also
+    what keeps the plane live: a rendezvous only waits for tokens that
+    are still registered, so early-finishing (or cancelled) jobs never
+    stall the rest.
+
+    The rendezvous window (``max_wait`` seconds) bounds how long a
+    request waits for co-batching before dispatching alone; jobs over
+    the same task shape settle into lockstep after the first combined
+    call, so the window is rarely paid once fusion is established.
+    """
+
+    def __init__(
+        self,
+        example_inputs: Sequence[Sequence[Value]],
+        max_wait: float = 0.01,
+    ) -> None:
+        self.evaluator = ColumnarEvaluator(example_inputs)
+        self.key = inputs_key(example_inputs)
+        self.max_wait = max_wait
+        self._cond = threading.Condition()
+        self._next_token = 0
+        self._active: set = set()
+        #: token -> (kind, programs) awaiting the next combined dispatch
+        self._requests: Dict[int, Tuple[str, Sequence[Program]]] = {}
+        #: token -> split result rows of an executed dispatch
+        self._results: Dict[int, List[list]] = {}
+        #: token -> kernel dispatches issued by multi-job combined calls
+        #: that included this job's rows
+        self._fused: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def register(self) -> int:
+        """Join the plane; returns the job's ownership token."""
+        with self._cond:
+            token = self._next_token
+            self._next_token += 1
+            self._active.add(token)
+            self._fused[token] = 0
+            return token
+
+    def unregister(self, token: int) -> None:
+        """Leave the plane (idempotent); wakes any rendezvous waiting on us."""
+        with self._cond:
+            self._active.discard(token)
+            # a request this job never collected must not wedge a later
+            # rendezvous count
+            self._requests.pop(token, None)
+            self._cond.notify_all()
+
+    def fused_dispatches(self, token: int) -> int:
+        """Dispatches this job shared with at least one other job so far."""
+        with self._cond:
+            return self._fused.get(token, 0)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, token: int, kind: str, programs: Sequence[Program]) -> List[list]:
+        """One job's population batch: rendezvous, combine, split.
+
+        ``kind`` is ``"outputs"`` or ``"traces"``.  Blocks until the
+        batch was part of a dispatch (combined when other registered
+        jobs submitted within the window, alone otherwise) and returns
+        this job's result rows in submission order.
+        """
+        with self._cond:
+            self._requests[token] = (kind, programs)
+            self._cond.notify_all()
+            deadline = time.monotonic() + self.max_wait
+            while token not in self._results:
+                ready = all(t in self._requests for t in self._active)
+                remaining = deadline - time.monotonic()
+                if ready or remaining <= 0:
+                    if token in self._requests:
+                        self._execute_locked()
+                    continue
+                self._cond.wait(timeout=remaining)
+            return self._results.pop(token)
+
+    def _execute_locked(self) -> None:
+        """Dispatch every pending request (caller holds the condition).
+
+        Same-kind requests concatenate into one evaluator call; the
+        evaluator's dispatch counter around a multi-job call is what
+        feeds each participant's ``fused_dispatches``.
+        """
+        pending, self._requests = self._requests, {}
+        by_kind: Dict[str, List[Tuple[int, Sequence[Program]]]] = {}
+        for tok, (kind, programs) in pending.items():
+            by_kind.setdefault(kind, []).append((tok, programs))
+        stats = self.evaluator._stats
+        for kind, entries in by_kind.items():
+            combined: List[Program] = []
+            for _tok, programs in entries:
+                combined.extend(programs)
+            before = stats.dispatches
+            if kind == "traces":
+                rows = self.evaluator.traces(combined)
+            else:
+                rows = self.evaluator.outputs(combined)
+            dispatched = stats.dispatches - before
+            offset = 0
+            for tok, programs in entries:
+                self._results[tok] = rows[offset : offset + len(programs)]
+                offset += len(programs)
+            if len(entries) > 1:
+                for tok, _programs in entries:
+                    if tok in self._fused:
+                        self._fused[tok] += dispatched
+        self._cond.notify_all()
+
+
+class _OverlayCache:
+    """A job-private write overlay over a shared base evaluation cache.
+
+    Reads fall through to ``base`` (via ``peek`` — base counters are
+    never touched), writes land in the private layer only, and hit/miss
+    accounting runs against the private :class:`CacheStats` — so each
+    fused job's counters equal what its unfused serial run would have
+    recorded (fused jobs have disjoint cache keys; see module docstring).
+    :meth:`merge_into` replays the private writes into a base cache once
+    the job settled, preserving dirty-window semantics for L3 persists.
+    """
+
+    def __init__(self, base: Optional[EvaluationCache] = None) -> None:
+        self._local = EvaluationCache()
+        self._base = base
+        self.stats = self._local.stats
+        self.max_entries = self._local.max_entries
+
+    def __len__(self) -> int:
+        return len(self._local) + (len(self._base) if self._base is not None else 0)
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def peek(self, namespace: str, key: Hashable, default: Any = None) -> Any:
+        value = self._local.peek(namespace, key, _MISSING)
+        if value is _MISSING and self._base is not None:
+            value = self._base.peek(namespace, key, _MISSING)
+        return default if value is _MISSING else value
+
+    def get(self, namespace: str, key: Hashable, default: Any = None) -> Any:
+        value = self.peek(namespace, key, _MISSING)
+        self.stats.record(namespace, hit=value is not _MISSING)
+        return default if value is _MISSING else value
+
+    def put(self, namespace: str, key: Hashable, value: Any) -> None:
+        self._local.put(namespace, key, value)
+
+    def merge_into(self, base: EvaluationCache) -> int:
+        """Replay this job's private writes into ``base``; returns the count."""
+        items = self._local.snapshot()
+        for (namespace, key), value in items:
+            base.put(namespace, key, value)
+        return len(items)
+
+
+class FusedBatchEngine(BatchExecutionEngine):
+    """A per-job batch engine whose population dispatches ride the plane.
+
+    Built by :meth:`NetSynBackend.fused_executor` for each job of a
+    fusion group.  Single-program calls and reference-interpreter
+    engines keep the exact serial paths of the base class; only the
+    multi-program columnar evaluations rendezvous on the plane — and
+    only for IO sets over the plane's example inputs (any other IO set
+    a fitness function might evaluate falls back to the private
+    evaluator, so results never depend on what happens to be fused).
+    """
+
+    def __init__(
+        self,
+        plane: FusionPlane,
+        token: int,
+        base_cache: Optional[EvaluationCache] = None,
+        compiled: bool = True,
+    ) -> None:
+        super().__init__(cache=_OverlayCache(base_cache), compiled=compiled)
+        self._plane = plane
+        self._token = token
+        #: io_key -> does this IO set run over the plane's inputs?
+        self._plane_keys: Dict[Tuple, bool] = {}
+
+    @property
+    def fused_dispatches(self) -> int:
+        """Kernel dispatches this job shared with concurrent jobs so far
+        (stamped onto per-generation progress events by the GA engine)."""
+        return self._plane.fused_dispatches(self._token)
+
+    def merge_into(self, base: EvaluationCache) -> int:
+        """Merge this job's private cache writes into ``base``."""
+        return self.cache.merge_into(base)
+
+    # ------------------------------------------------------------------
+    def _on_plane(self, io_set: IOSet, io_key: Tuple) -> bool:
+        on_plane = self._plane_keys.get(io_key)
+        if on_plane is None:
+            on_plane = (
+                inputs_key([example.inputs for example in io_set]) == self._plane.key
+            )
+            self._plane_keys[io_key] = on_plane
+        return on_plane
+
+    def _batch_outputs(
+        self, programs: List[Program], io_set: IOSet, io_key: Tuple
+    ) -> List[List[Value]]:
+        if self.compiled and len(programs) > 1 and self._on_plane(io_set, io_key):
+            return self._plane.evaluate(self._token, "outputs", programs)
+        return super()._batch_outputs(programs, io_set, io_key)
+
+    def _batch_traces(self, programs: List[Program], io_set: IOSet, io_key: Tuple):
+        if self.compiled and len(programs) > 1 and self._on_plane(io_set, io_key):
+            return self._plane.evaluate(self._token, "traces", programs)
+        return super()._batch_traces(programs, io_set, io_key)

@@ -1,0 +1,241 @@
+"""Cross-job batch fusion: the plane, the overlay cache, and session parity."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DSLConfig,
+    GAConfig,
+    NeighborhoodConfig,
+    NetSynConfig,
+    ServiceConfig,
+    ServingConfig,
+)
+from repro.core import ArtifactStore, JobState, SynthesisSession
+from repro.data.tasks import SynthesisTask, make_synthesis_task
+from repro.dsl import Program
+from repro.dsl.equivalence import make_io_set
+from repro.dsl.interpreter import Interpreter
+from repro.execution import (
+    ColumnarEvaluator,
+    EvaluationCache,
+    FusedBatchEngine,
+    FusionPlane,
+    io_set_key,
+)
+from repro.execution.fusion import _OverlayCache
+
+
+def _edit_config(**overrides):
+    defaults = dict(
+        fitness_kind="edit",
+        fp_guided_mutation=False,
+        program_length=3,
+        max_search_space=800,
+        seed=0,
+        ga=GAConfig(population_size=24, elite_count=2, max_generations=40),
+        neighborhood=NeighborhoodConfig(top_n=2, window=4, cooldown=3),
+        dsl=DSLConfig(),
+    )
+    defaults.update(overrides)
+    return NetSynConfig(**defaults)
+
+
+def _same_input_tasks(n=3, seed=11, dsl_config=None):
+    """Tasks over identical example inputs with pairwise-distinct IO sets."""
+    dsl_config = dsl_config or DSLConfig()
+    base = make_synthesis_task(length=3, seed=seed, dsl_config=dsl_config)
+    inputs = [example.inputs for example in base.io_set]
+    interp = Interpreter(trace=False)
+    tasks = [base]
+    keys = {io_set_key(base.io_set)}
+    candidate_seed = seed + 1
+    while len(tasks) < n:
+        cand = make_synthesis_task(length=3, seed=candidate_seed, dsl_config=dsl_config)
+        candidate_seed += 1
+        io = make_io_set(cand.target, inputs, interp)
+        key = io_set_key(io)
+        if key in keys:
+            continue
+        keys.add(key)
+        tasks.append(
+            SynthesisTask(cand.target, io, 3, cand.is_singleton, f"fused-{candidate_seed}")
+        )
+    return tasks
+
+
+class TestFusionPlane:
+    def _programs(self, seed, size=12):
+        rng = np.random.default_rng(seed)
+        return [
+            Program([int(f) for f in rng.integers(1, 42, size=int(rng.integers(0, 5)))])
+            for _ in range(size)
+        ]
+
+    def test_concurrent_jobs_get_their_own_rows(self):
+        example_inputs = [[[3, 1, 2]], [[5, 5]]]
+        plane = FusionPlane(example_inputs)
+        jobs = {plane.register(): self._programs(seed) for seed in (1, 2, 3)}
+        results = {}
+
+        def worker(token, programs):
+            results[token] = plane.evaluate(token, "outputs", programs)
+            plane.unregister(token)
+
+        threads = [
+            threading.Thread(target=worker, args=(token, programs))
+            for token, programs in jobs.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        control = ColumnarEvaluator(example_inputs)
+        for token, programs in jobs.items():
+            assert results[token] == control.outputs(programs)
+
+    def test_fused_dispatches_counted_only_on_multi_job_calls(self):
+        example_inputs = [[[9, 8, 7]]]
+        plane = FusionPlane(example_inputs, max_wait=0.0)
+        token = plane.register()
+        # a lone job's dispatches are never "fused"
+        plane.evaluate(token, "outputs", self._programs(4))
+        assert plane.fused_dispatches(token) == 0
+        plane.unregister(token)
+
+    def test_unregister_unblocks_the_rendezvous(self):
+        example_inputs = [[[1, 2]]]
+        plane = FusionPlane(example_inputs, max_wait=30.0)
+        first = plane.register()
+        second = plane.register()
+        done = threading.Event()
+        results = {}
+
+        def worker():
+            results["rows"] = plane.evaluate(first, "outputs", self._programs(6))
+            done.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        # the sibling leaves without ever submitting: despite the long
+        # window, the waiter must dispatch as soon as the roster shrinks
+        plane.unregister(second)
+        assert done.wait(timeout=5.0)
+        thread.join()
+        assert results["rows"] == ColumnarEvaluator(example_inputs).outputs(
+            self._programs(6)
+        )
+        plane.unregister(first)
+
+
+class TestOverlayCache:
+    def test_reads_fall_through_writes_stay_private(self):
+        base = EvaluationCache()
+        base.put("ns", "warm", 1)
+        overlay = _OverlayCache(base)
+        assert overlay.get("ns", "warm") == 1
+        assert overlay.stats.hits == 1
+        overlay.put("ns", "fresh", 2)
+        assert overlay.get("ns", "fresh") == 2
+        assert base.peek("ns", "fresh") is None
+        # base counters were never touched by overlay traffic
+        assert base.stats.hits == 0 and base.stats.misses == 0
+
+    def test_merge_into_replays_private_writes(self):
+        base = EvaluationCache()
+        overlay = _OverlayCache(base)
+        overlay.put("ns", "a", 1)
+        overlay.put("ns", "b", 2)
+        assert overlay.merge_into(base) == 2
+        assert base.peek("ns", "a") == 1
+        assert base.peek("ns", "b") == 2
+
+
+class TestFusedSessionParity:
+    def _run(self, fuse, n_tasks=3):
+        config = _edit_config()
+        session = SynthesisSession(
+            config,
+            ArtifactStore(),
+            methods=("edit",),
+            service_config=ServiceConfig(fuse_jobs=fuse),
+        )
+        tasks = _same_input_tasks(n=n_tasks, dsl_config=config.dsl)
+        jobs = [session.submit(task, seed=7 + i) for i, task in enumerate(tasks)]
+        session.run()
+        return jobs
+
+    def test_fused_results_events_and_budgets_equal_serial(self):
+        serial = self._run(False)
+        fused = self._run(True)
+        saw_fused_dispatch = False
+        for a, b in zip(serial, fused):
+            assert a.state == b.state
+            assert (a.result.program if a.result else None) == (
+                b.result.program if b.result else None
+            )
+            assert a.result.candidates_used == b.result.candidates_used
+            assert len(a.events) == len(b.events)
+            for x, y in zip(a.events, b.events):
+                dx, dy = x.to_dict(), y.to_dict()
+                saw_fused_dispatch |= dy.pop("fused_dispatches") > 0
+                dx.pop("fused_dispatches")
+                assert dx == dy
+        # the fused run actually shared kernel dispatches across jobs
+        assert saw_fused_dispatch
+
+    def test_fusion_groups_split_duplicates_and_singletons(self):
+        config = _edit_config()
+        session = SynthesisSession(
+            config,
+            ArtifactStore(),
+            methods=("edit",),
+            service_config=ServiceConfig(fuse_jobs=True),
+        )
+        tasks = _same_input_tasks(n=2, dsl_config=config.dsl)
+        twin = tasks[0]  # same IO set as jobs[0]: must not fuse with it
+        other = make_synthesis_task(length=3, seed=101, dsl_config=config.dsl)
+        jobs = [session.submit(task) for task in (*tasks, twin, other)]
+        fusable, leftovers = session._fusion_groups(jobs)
+        assert [[j.job_id for j in group] for group in fusable] == [
+            [jobs[0].job_id, jobs[1].job_id]
+        ]
+        assert {j.job_id for j in leftovers} == {jobs[2].job_id, jobs[3].job_id}
+        session.run()
+        assert all(job.done for job in jobs)
+
+    def test_cancel_during_fused_run(self):
+        config = _edit_config(max_search_space=4000)
+        session = SynthesisSession(
+            config,
+            ArtifactStore(),
+            methods=("edit",),
+            service_config=ServiceConfig(fuse_jobs=True),
+        )
+        tasks = _same_input_tasks(n=2, dsl_config=config.dsl)
+        jobs = [session.submit(task, seed=50 + i) for i, task in enumerate(tasks)]
+        victim = jobs[0]
+
+        def listener(event):
+            if event.job_id == victim.job_id and event.kind == "generation":
+                victim.cancel()
+
+        session.add_listener(listener)
+        session.run()
+        assert victim.state is JobState.CANCELLED
+        # the surviving job still reached a terminal state on its own
+        assert jobs[1].state in (
+            JobState.SOLVED,
+            JobState.EXHAUSTED,
+            JobState.CANCELLED,
+        )
+        assert jobs[1].state is not JobState.CANCELLED
+
+    def test_serving_config_carries_fuse_jobs(self):
+        assert ServingConfig().fuse_jobs is False
+        assert ServingConfig(fuse_jobs=True).fuse_jobs is True
+        assert ServiceConfig().fuse_jobs is False

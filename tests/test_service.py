@@ -533,20 +533,24 @@ class TestWorkerCacheMergeBack:
         assert all(job.state in (JobState.SOLVED, JobState.EXHAUSTED) for job in first)
 
         # the parent session never ran these jobs locally, yet its backend
-        # now holds the workers' cache entries
+        # now holds the workers' cache entries (evaluation/map deltas are
+        # merged through the result pickle; scores travel through the L2
+        # shared table, the parallel default)
         backend = session.backend("netsyn_cf").backend
         assert backend.cache_version() > 0
-        score_stats = backend._score_cache.stats
-        hits_before, misses_before = score_stats.hits, score_stats.misses
 
         # a repeated serial run of the same jobs is answered from the
-        # merged caches: strictly more hits, not a single new score miss
+        # warm tiers: results identical, and every L1 score miss of the
+        # re-run is a shared-table read, never a fresh NN forward (the
+        # counters are advisory under sharing — see docs/execution.md —
+        # but a fully warm re-run still pins miss == shared hit)
         second = [session.submit(task, budget=300, seed=1) for task in tasks]
         session.run(n_workers=1)
         for a, b in zip(first, second):
             _results_equal(a.result, b.result)
-        assert score_stats.hits > hits_before
-        assert score_stats.misses == misses_before
+        score_stats = backend._score_cache.stats
+        assert score_stats.misses > 0
+        assert score_stats.shared_hits == score_stats.misses
 
     def test_merge_back_can_be_disabled(
         self, tiny_netsyn_config, tiny_trace_artifacts, tiny_fp_artifacts, tiny_suite

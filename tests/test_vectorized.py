@@ -334,3 +334,118 @@ class TestVectorizedBitIdentity:
             assert a.result.found == b.result.found
             assert a.result.program == b.result.program
             assert a.result.candidates_used == b.result.candidates_used
+
+
+class TestPersistentTrie:
+    """Incremental tries: warm results identical to cold, explicit
+    invalidation, registry swaps, and budget-bounded eviction."""
+
+    def _inputs(self, seed=3, m=4):
+        rng = np.random.default_rng(seed)
+        return [
+            [[int(v) for v in rng.integers(-40, 41, size=int(rng.integers(1, 7)))]]
+            for _ in range(m)
+        ]
+
+    def test_warm_batches_equal_cold_rebuilds(self):
+        rng = np.random.default_rng(23)
+        example_inputs = self._inputs()
+        warm = ColumnarEvaluator(example_inputs)
+        survivors = _population(rng, 20)
+        for _generation in range(4):
+            # survivors + fresh children, the converged-GA batch shape
+            batch = survivors + _population(rng, 10)
+            got = warm.outputs(batch)
+            cold = ColumnarEvaluator(example_inputs).outputs(batch)
+            assert got == cold
+            survivors = batch[:20]
+
+    def test_repeated_batch_hits_the_leaf_memo(self):
+        example_inputs = self._inputs(seed=9)
+        evaluator = ColumnarEvaluator(example_inputs)
+        population = _population(np.random.default_rng(31), 30)
+        first = evaluator.outputs(population)
+        inserted = evaluator.stats()["trie_nodes_inserted"]
+        assert inserted > 0
+        second = evaluator.outputs(population)
+        stats = evaluator.stats()
+        assert second == first
+        # the repeat inserted nothing and answered every leaf from memo
+        assert stats["trie_nodes_inserted"] == inserted
+        assert stats["trie_leaf_hits"] >= len(population)
+        assert stats["reuse_ratio"] > 0
+
+    def test_invalidate_drops_tries_and_stays_correct(self):
+        example_inputs = self._inputs(seed=17)
+        evaluator = ColumnarEvaluator(example_inputs)
+        population = _population(np.random.default_rng(5), 25)
+        first = evaluator.outputs(population)
+        evaluator.invalidate()
+        stats = evaluator.stats()
+        assert stats["trie_evictions"] > 0
+        assert evaluator.outputs(population) == first
+
+    def test_registry_swap_rebuilds_the_trie(self):
+        example_inputs = [[[4, 5, 6]], [[1]]]
+        evaluator = ColumnarEvaluator(example_inputs)
+        reverse = REGISTRY.by_name("REVERSE").fid
+        sort = REGISTRY.by_name("SORT").fid
+        population = [Program([reverse]), Program([reverse, sort]), Program([sort])]
+        assert evaluator.outputs(population) == [
+            _reference_outputs(p, example_inputs) for p in population
+        ]
+        # same fids resolved against a different registry object: the
+        # (block, registry) key changes, so results follow the new registry
+        doubled = FunctionRegistry([
+            DSLFunction(reverse, "R2", (LIST,), LIST, lambda xs: list(xs) + list(xs)),
+            DSLFunction(sort, "S2", (LIST,), LIST, lambda xs: sorted(xs, reverse=True)),
+        ])
+        swapped = [Program(p.function_ids, registry=doubled) for p in population]
+        expected = [_reference_outputs(p, example_inputs) for p in swapped]
+        assert evaluator.outputs(swapped) == expected
+        # and the original registry's trie still answers correctly
+        assert evaluator.outputs(population) == [
+            _reference_outputs(p, example_inputs) for p in population
+        ]
+
+    def test_small_node_budget_evicts_and_rebuilds(self):
+        example_inputs = self._inputs(seed=29)
+        evaluator = ColumnarEvaluator(example_inputs, trie_node_budget=40)
+        rng = np.random.default_rng(41)
+        for _round in range(5):
+            population = _population(rng, 25)
+            expected = [_reference_outputs(p, example_inputs) for p in population]
+            assert evaluator.outputs(population) == expected
+        assert evaluator.stats()["trie_evictions"] > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_property_incremental_equals_cold_over_generation_sequences(self, data):
+        value = st.integers(min_value=-127, max_value=127)
+        input_value = st.one_of(value, st.lists(value, min_size=0, max_size=6))
+        example_inputs = data.draw(
+            st.lists(st.lists(input_value, min_size=1, max_size=2), min_size=1, max_size=3),
+            label="example_inputs",
+        )
+        alphabet = data.draw(
+            st.lists(st.integers(min_value=1, max_value=41), min_size=1, max_size=5),
+            label="alphabet",
+        )
+        program_lists = data.draw(
+            st.lists(  # a sequence of generations, overlapping by chance
+                st.lists(
+                    st.lists(st.sampled_from(alphabet), min_size=0, max_size=5),
+                    min_size=1,
+                    max_size=10,
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            label="generations",
+        )
+        warm = ColumnarEvaluator(example_inputs)
+        for fids_list in program_lists:
+            generation = [Program(fids) for fids in fids_list]
+            incremental = warm.outputs(generation)
+            cold = ColumnarEvaluator(example_inputs).outputs(generation)
+            assert incremental == cold
